@@ -1,0 +1,201 @@
+// Repository-level benchmarks: one benchmark per table and figure of
+// the paper's evaluation (§VI), regenerating the corresponding
+// experiment on the synthetic dataset stand-ins. Per-figure experiment
+// benches run the harness at benchScale; the fine-grained benches below
+// them time individual algorithm configurations per dataset, which is
+// what the paper's tables actually compare.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or print the paper-style tables with cmd/benchmark.
+package fairclique
+
+import (
+	"testing"
+
+	"fairclique/internal/bench"
+	"fairclique/internal/bounds"
+	"fairclique/internal/core"
+	"fairclique/internal/gen"
+	"fairclique/internal/heuristic"
+	"fairclique/internal/reduce"
+)
+
+// benchScale keeps the full -bench=. sweep in the minutes range; use
+// cmd/benchmark -scale 1.0 for the full-size tables.
+const benchScale = 0.2
+
+var benchCfg = bench.Config{Scale: benchScale, MaxNodes: 50_000_000}
+
+// BenchmarkTableI_DatasetBuild measures dataset construction, the
+// substrate behind every experiment (Table I).
+func BenchmarkTableI_DatasetBuild(b *testing.B) {
+	for _, d := range gen.Datasets() {
+		b.Run(d.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := d.Build(benchScale)
+				if g.N() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4_Reduction times the full reduction pipeline per
+// generated-attribute dataset at its default k (Fig. 4's workload).
+func BenchmarkFig4_Reduction(b *testing.B) {
+	for _, d := range gen.Datasets() {
+		if d.Name == "aminer-sim" {
+			continue
+		}
+		g := d.Build(benchScale)
+		b.Run(d.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reduce.Stages(g, int32(d.DefaultK))
+			}
+		})
+	}
+}
+
+// BenchmarkFig5_ReductionRealAttrs is Fig. 4's workload on the
+// correlated-attribute stand-in (Fig. 5).
+func BenchmarkFig5_ReductionRealAttrs(b *testing.B) {
+	d, _ := gen.DatasetByName("aminer-sim")
+	g := d.Build(benchScale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reduce.Stages(g, int32(d.DefaultK))
+	}
+}
+
+// BenchmarkTable2_UpperBounds times MaxRFC under each of the six bound
+// configurations per dataset at default parameters (Table II's cells).
+func BenchmarkTable2_UpperBounds(b *testing.B) {
+	for _, d := range gen.Datasets() {
+		g := d.Build(benchScale)
+		for _, extra := range bounds.Extras() {
+			b.Run(d.Name+"/"+extra.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := core.MaxRFC(g, core.Options{
+						K: d.DefaultK, Delta: d.DefaultDelta,
+						UseBounds: true, Extra: extra,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_SearchVariants times the paper's three algorithm
+// flavours per generated-attribute dataset (Fig. 6's series).
+func BenchmarkFig6_SearchVariants(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  func(d *gen.Dataset) core.Options
+	}{
+		{"MaxRFC", func(d *gen.Dataset) core.Options {
+			return core.Options{K: d.DefaultK, Delta: d.DefaultDelta}
+		}},
+		{"MaxRFC+ub", func(d *gen.Dataset) core.Options {
+			return core.Options{K: d.DefaultK, Delta: d.DefaultDelta, UseBounds: true, Extra: bounds.ColorfulDegeneracy}
+		}},
+		{"MaxRFC+ub+HeurRFC", func(d *gen.Dataset) core.Options {
+			return core.Options{K: d.DefaultK, Delta: d.DefaultDelta, UseBounds: true, Extra: bounds.ColorfulDegeneracy, UseHeuristic: true}
+		}},
+	}
+	for _, d := range gen.Datasets() {
+		if d.Name == "aminer-sim" {
+			continue
+		}
+		g := d.Build(benchScale)
+		for _, v := range variants {
+			b.Run(d.Name+"/"+v.name, func(b *testing.B) {
+				opt := v.opt(d)
+				for i := 0; i < b.N; i++ {
+					if _, err := core.MaxRFC(g, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7_SearchRealAttrs is Fig. 6's workload on aminer-sim.
+func BenchmarkFig7_SearchRealAttrs(b *testing.B) {
+	d, _ := gen.DatasetByName("aminer-sim")
+	g := d.Build(benchScale)
+	for _, v := range []struct {
+		name     string
+		ub, heur bool
+	}{{"MaxRFC", false, false}, {"MaxRFC+ub", true, false}, {"MaxRFC+ub+HeurRFC", true, true}} {
+		b.Run(v.name, func(b *testing.B) {
+			opt := core.Options{K: d.DefaultK, Delta: d.DefaultDelta,
+				UseBounds: v.ub, Extra: bounds.ColorfulDegeneracy, UseHeuristic: v.heur}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaxRFC(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8_Heuristic times the linear-time HeurRFC per dataset
+// (the cheap half of Fig. 8's comparison).
+func BenchmarkFig8_Heuristic(b *testing.B) {
+	for _, d := range gen.Datasets() {
+		g := d.Build(benchScale)
+		b.Run(d.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				heuristic.HeurRFC(g, int32(d.DefaultK), int32(d.DefaultDelta))
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_Scalability runs the full Fig. 9 sweep (20-100% vertex
+// and edge subsamples of flixster-sim, three variants each).
+func BenchmarkFig9_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(benchCfg)
+	}
+}
+
+// BenchmarkFig10_CaseStudies runs the four labelled case-study queries
+// (Fig. 10) end to end.
+func BenchmarkFig10_CaseStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunCaseStudies(benchCfg)
+	}
+}
+
+// BenchmarkFindPublicAPI exercises the public entry point end-to-end
+// on a mid-size stand-in, the number a library user would experience.
+func BenchmarkFindPublicAPI(b *testing.B) {
+	d, _ := gen.DatasetByName("dblp-sim")
+	ig := d.Build(benchScale)
+	g := NewGraph(int(ig.N()))
+	for v := int32(0); v < ig.N(); v++ {
+		g.SetAttr(int(v), ig.Attr(v))
+	}
+	for e := int32(0); e < ig.M(); e++ {
+		u, v := ig.Edge(e)
+		g.AddEdge(int(u), int(v))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Find(g, DefaultOptions(d.DefaultK, d.DefaultDelta)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command benchmark regenerates the paper's evaluation tables and
+// figures (§VI) on the synthetic dataset stand-ins and prints them as
+// Markdown. EXPERIMENTS.md is produced by piping this command's output.
+//
+// Usage:
+//
+//	benchmark                 # the full suite at scale 1.0
+//	benchmark -exp fig4       # one experiment
+//	benchmark -scale 0.25     # quarter-scale datasets (much faster)
+//	benchmark -out results.md
+//
+// Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
+// casestudies, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fairclique/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		out      = flag.String("out", "", "output path (default stdout)")
+		format   = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
+		maxNodes = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := bench.Config{Scale: *scale, Out: w, MaxNodes: *maxNodes}
+
+	start := time.Now()
+	switch *format {
+	case "json":
+		if err := bench.WriteJSON(cfg, w); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: json suite finished in %v\n", time.Since(start))
+		return
+	case "chart":
+		bench.RunCharts(cfg)
+		fmt.Fprintf(os.Stderr, "benchmark: chart suite finished in %v\n", time.Since(start))
+		return
+	case "markdown":
+	default:
+		fmt.Fprintf(os.Stderr, "benchmark: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	switch *exp {
+	case "all":
+		bench.RunAll(cfg)
+	case "table1":
+		bench.TableI(cfg)
+	case "fig4":
+		bench.Fig4(cfg)
+	case "fig5":
+		bench.Fig5(cfg)
+	case "table2":
+		bench.Table2(cfg)
+	case "fig6":
+		bench.Fig6(cfg)
+	case "fig7":
+		bench.Fig7(cfg)
+	case "fig8":
+		bench.Fig8(cfg)
+	case "fig9":
+		bench.Fig9(cfg)
+	case "casestudies":
+		bench.RunCaseStudies(cfg)
+	case "ablation":
+		bench.Ablation(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "benchmark: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchmark: %s finished in %v\n", *exp, time.Since(start))
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	for _, tc := range []struct {
+		exp  string
+		want string
+	}{
+		{"table1", "Table I"},
+		{"fig8", "HeurRFC size"},
+		{"fig4", "Fig. 4"},
+	} {
+		out, err := runCLI(t, "-exp", tc.exp, "-scale", "0.05", "-max-nodes", "1000000")
+		if err != nil {
+			t.Fatalf("benchmark -exp %s failed: %v\n%s", tc.exp, err, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("-exp %s output missing %q:\n%s", tc.exp, tc.want, out)
+		}
+	}
+	if _, err := runCLI(t, "-exp", "nope"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestCLIOutFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "results.md")
+	out, err := runCLI(t, "-exp", "table1", "-scale", "0.05", "-out", path)
+	if err != nil {
+		t.Fatalf("benchmark -out failed: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Table I") {
+		t.Fatalf("output file missing table:\n%s", data)
+	}
+}

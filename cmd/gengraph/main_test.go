@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairclique"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+func TestCLIList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatalf("gengraph -list failed: %v\n%s", err, out)
+	}
+	for _, name := range []string{"themarker-sim", "google-sim", "dblp-sim", "flixster-sim", "pokec-sim", "aminer-sim"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestCLIModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tc := range [][]string{
+		{"-model", "er", "-n", "50", "-m", "100"},
+		{"-model", "ba", "-n", "60", "-m", "3"},
+		{"-model", "ws", "-n", "40", "-m", "2"},
+		{"-model", "team", "-n", "80", "-teams", "40"},
+		{"-model", "sbm", "-n", "60", "-blocks", "3", "-pin", "0.3", "-pout", "0.01"},
+		{"-dataset", "dblp-sim", "-scale", "0.05"},
+	} {
+		path := filepath.Join(dir, "g.txt")
+		args := append(tc, "-out", path)
+		out, err := runCLI(t, args...)
+		if err != nil {
+			t.Fatalf("gengraph %v failed: %v\n%s", tc, err, out)
+		}
+		g, err := fairclique.ReadGraphFile(path)
+		if err != nil {
+			t.Fatalf("output of %v unreadable: %v", tc, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%v produced an empty graph", tc)
+		}
+		os.Remove(path)
+	}
+	if _, err := runCLI(t, "-model", "nope"); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+	if _, err := runCLI(t, "-dataset", "nope"); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if _, err := runCLI(t); err == nil {
+		t.Fatal("no arguments should fail with usage")
+	}
+}

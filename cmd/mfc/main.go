@@ -1,0 +1,144 @@
+// Command mfc finds a maximum relative fair clique in an attributed
+// graph file (the text format documented in the fairclique package:
+// "v <id> <a|b>" and "e <u> <v>" records, or plain edge lists).
+//
+// Usage:
+//
+//	mfc -graph g.txt -k 3 -delta 1 [-bound cd] [-no-heur] [-no-bounds]
+//	mfc -graph g.txt -k 3 -delta 1 -heuristic    # linear-time HeurRFC only
+//	mfc -graph g.txt -k 3 -reduce                # reduction pipeline only
+//	mfc -graph g.txt -k 3 -delta 1 -enum         # Bron-Kerbosch baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fairclique"
+)
+
+var boundNames = map[string]fairclique.UpperBound{
+	"ad":  fairclique.UBAdvanced,
+	"deg": fairclique.UBDegeneracy,
+	"h":   fairclique.UBHIndex,
+	"cd":  fairclique.UBColorfulDegeneracy,
+	"ch":  fairclique.UBColorfulHIndex,
+	"cp":  fairclique.UBColorfulPath,
+}
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "path to the attributed graph file (required)")
+		k          = flag.Int("k", 2, "per-attribute minimum count")
+		delta      = flag.Int("delta", 1, "maximum attribute-count difference")
+		bound      = flag.String("bound", "cd", "extra upper bound: ad, deg, h, cd, ch, cp")
+		noHeur     = flag.Bool("no-heur", false, "disable HeurRFC seeding")
+		noBounds   = flag.Bool("no-bounds", false, "disable upper-bound pruning (plain MaxRFC)")
+		noReduce   = flag.Bool("no-reduce", false, "skip the reduction pipeline")
+		heurOnly   = flag.Bool("heuristic", false, "run only the linear-time heuristic")
+		reduceOnly = flag.Bool("reduce", false, "run only the reduction pipeline and report sizes")
+		enumerate  = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
+		maxNodes   = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
+		quiet      = flag.Bool("q", false, "print only the clique size")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := fairclique.ReadGraphFile(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+	}
+
+	switch {
+	case *reduceOnly:
+		kept, stages, err := fairclique.Reduce(g, *k)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range stages {
+			fmt.Printf("%-16s %8d vertices %10d edges\n", s.Stage, s.Vertices, s.Edges)
+		}
+		fmt.Printf("kept %d vertices\n", len(kept))
+		return
+
+	case *heurOnly:
+		start := time.Now()
+		clique, ub, err := fairclique.Heuristic(g, *k, *delta)
+		if err != nil {
+			fatal(err)
+		}
+		report(g, clique, *quiet, time.Since(start))
+		if !*quiet {
+			fmt.Printf("upper bound: %d\n", ub)
+		}
+		return
+
+	case *enumerate:
+		start := time.Now()
+		clique, err := fairclique.Enumerate(g, *k, *delta)
+		if err != nil {
+			fatal(err)
+		}
+		report(g, clique, *quiet, time.Since(start))
+		return
+	}
+
+	ub, ok := boundNames[*bound]
+	if !ok {
+		fatal(fmt.Errorf("unknown bound %q (want ad, deg, h, cd, ch or cp)", *bound))
+	}
+	opt := fairclique.Options{
+		K:                *k,
+		Delta:            *delta,
+		Bound:            ub,
+		DisableBounds:    *noBounds,
+		DisableHeuristic: *noHeur,
+		DisableReduction: *noReduce,
+		MaxNodes:         *maxNodes,
+	}
+	start := time.Now()
+	res, err := fairclique.Find(g, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	report(g, res.Clique, *quiet, elapsed)
+	if !*quiet {
+		fmt.Printf("attribute counts: %d a, %d b\n", res.CountA, res.CountB)
+		fmt.Printf("reduced graph: %d vertices, %d edges\n",
+			res.Stats.ReducedVertices, res.Stats.ReducedEdges)
+		fmt.Printf("search: %d nodes, %d bound checks, %d bound prunes, heuristic seed %d\n",
+			res.Stats.Nodes, res.Stats.BoundChecks, res.Stats.BoundPrunes, res.Stats.HeuristicSize)
+		if !res.Exact {
+			fmt.Println("WARNING: search aborted by -max-nodes; result may be sub-optimal")
+		}
+	}
+}
+
+func report(g *fairclique.Graph, clique []int, quiet bool, elapsed time.Duration) {
+	if quiet {
+		fmt.Println(len(clique))
+		return
+	}
+	if clique == nil {
+		fmt.Printf("no fair clique exists (%.2f ms)\n", float64(elapsed.Microseconds())/1000)
+		return
+	}
+	sorted := append([]int(nil), clique...)
+	sort.Ints(sorted)
+	fmt.Printf("maximum fair clique: size %d (%.2f ms)\n", len(clique), float64(elapsed.Microseconds())/1000)
+	fmt.Printf("vertices: %v\n", sorted)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mfc:", err)
+	os.Exit(1)
+}

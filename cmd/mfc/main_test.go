@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fairclique"
+)
+
+func TestBoundNamesComplete(t *testing.T) {
+	want := []string{"ad", "deg", "h", "cd", "ch", "cp"}
+	for _, name := range want {
+		if _, ok := boundNames[name]; !ok {
+			t.Errorf("bound %q missing", name)
+		}
+	}
+	if len(boundNames) != len(want) {
+		t.Errorf("%d bounds registered; want %d", len(boundNames), len(want))
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	g := fairclique.NewGraph(3)
+	// Capture stdout.
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	report(g, []int{2, 0, 1}, false, 1500*time.Microsecond)
+	report(g, nil, false, time.Millisecond)
+	report(g, []int{0, 1}, true, time.Millisecond)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	buf.ReadFrom(r)
+	out := buf.String()
+	if !strings.Contains(out, "size 3") || !strings.Contains(out, "[0 1 2]") {
+		t.Fatalf("report output %q", out)
+	}
+	if !strings.Contains(out, "no fair clique exists") {
+		t.Fatalf("nil-clique output missing: %q", out)
+	}
+	if !strings.Contains(out, "\n2\n") {
+		t.Fatalf("quiet output missing: %q", out)
+	}
+}
+
+// writeFixture stores a balanced K6 plus a pendant in the text format.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	g := fairclique.NewGraph(7)
+	for v := 0; v < 6; v++ {
+		g.SetAttr(v, fairclique.Attr(v%2))
+	}
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	g.AddEdge(6, 0)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fairclique.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+// runCLI executes this command via `go run .` — a real end-to-end test
+// of flag parsing, IO and output.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+func TestCLISearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := writeFixture(t)
+	out, err := runCLI(t, "-graph", path, "-k", "3", "-delta", "0")
+	if err != nil {
+		t.Fatalf("mfc failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "size 6") {
+		t.Fatalf("expected size 6 in output:\n%s", out)
+	}
+	if !strings.Contains(out, "attribute counts: 3 a, 3 b") {
+		t.Fatalf("expected balanced counts:\n%s", out)
+	}
+}
+
+func TestCLIModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := writeFixture(t)
+	for _, args := range [][]string{
+		{"-graph", path, "-k", "3", "-delta", "0", "-heuristic"},
+		{"-graph", path, "-k", "3", "-delta", "0", "-enum"},
+		{"-graph", path, "-k", "3", "-reduce"},
+		{"-graph", path, "-k", "3", "-delta", "0", "-q"},
+		{"-graph", path, "-k", "3", "-delta", "0", "-no-heur", "-no-bounds", "-bound", "cp"},
+	} {
+		out, err := runCLI(t, args...)
+		if err != nil {
+			t.Fatalf("mfc %v failed: %v\n%s", args, err, out)
+		}
+	}
+	// Error paths exit non-zero.
+	if _, err := runCLI(t, "-graph", path, "-bound", "nope"); err == nil {
+		t.Fatal("unknown bound should fail")
+	}
+	if _, err := runCLI(t, "-graph", path+".missing"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

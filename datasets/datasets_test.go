@@ -1,0 +1,83 @@
+package datasets
+
+import (
+	"testing"
+
+	"fairclique"
+)
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("%d names; want 6", len(names))
+	}
+	if names[0] != "themarker-sim" || names[5] != "aminer-sim" {
+		t.Fatalf("unexpected order %v", names)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	info, err := Describe("flixster-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DefaultK != 3 || info.DefaultDelta != 3 || len(info.Ks) != 5 {
+		t.Fatalf("%+v", info)
+	}
+	if _, err := Describe("bogus"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestLoadAndSearch(t *testing.T) {
+	g, err := Load("dblp-sim", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 || g.M() == 0 {
+		t.Fatal("empty dataset")
+	}
+	// The planted community guarantees a fair clique at modest k.
+	res, err := fairclique.Find(g, fairclique.DefaultOptions(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() < 8 {
+		t.Fatalf("found %d; planted community is larger", res.Size())
+	}
+	if !g.IsFairClique(res.Clique, 4, 3) {
+		t.Fatal("result invalid")
+	}
+	if _, err := Load("bogus", 1); err != nil {
+		// expected
+	} else {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	all := CaseStudies()
+	if len(all) != 4 {
+		t.Fatalf("%d case studies", len(all))
+	}
+	cs, err := LoadCaseStudy("nba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.K != 5 || cs.Delta != 3 {
+		t.Fatalf("k=%d δ=%d", cs.K, cs.Delta)
+	}
+	if len(cs.Labels) != cs.Graph.N() {
+		t.Fatal("label count mismatch")
+	}
+	res, err := fairclique.Find(cs.Graph, fairclique.DefaultOptions(cs.K, cs.Delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() < 2*cs.K {
+		t.Fatalf("case study found only %d", res.Size())
+	}
+	if _, err := LoadCaseStudy("zzz"); err == nil {
+		t.Fatal("unknown case study should error")
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small attributed graph by hand and find its
+// maximum relative fair clique.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairclique"
+)
+
+func main() {
+	// A research group of 8 people; attribute a = senior, b = junior.
+	// Vertices 0-5 form a tight collaboration clique (3 seniors, 3
+	// juniors); 6 and 7 are loosely attached seniors.
+	g := fairclique.NewGraph(8)
+	for v, senior := range []bool{true, true, true, false, false, false, true, true} {
+		if senior {
+			g.SetAttr(v, fairclique.AttrA)
+		} else {
+			g.SetAttr(v, fairclique.AttrB)
+		}
+	}
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	g.AddEdge(6, 0)
+	g.AddEdge(6, 1)
+	g.AddEdge(7, 0)
+
+	// Ask for a team with at least 2 seniors, at least 2 juniors, and a
+	// senior/junior gap of at most 1.
+	res, err := fairclique.Find(g, fairclique.DefaultOptions(2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Clique == nil {
+		fmt.Println("no fair team exists")
+		return
+	}
+	fmt.Printf("maximum fair team: %v (%d seniors, %d juniors)\n",
+		res.Clique, res.CountA, res.CountB)
+	fmt.Printf("graph reduced from %d to %d vertices before search; %d branch nodes\n",
+		g.N(), res.Stats.ReducedVertices, res.Stats.Nodes)
+
+	// The linear-time heuristic gets close without the exact search.
+	heur, ub, err := fairclique.Heuristic(g, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heuristic found %d members; proved upper bound %d\n", len(heur), ub)
+}

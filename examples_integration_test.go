@@ -1,0 +1,43 @@
+package fairclique
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end — they are
+// part of the public deliverable and must keep working. Skipped in
+// -short mode (each `go run` compiles).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example integration in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "maximum fair team"},
+		{"./examples/teamformation", "largest balanced team"},
+		{"./examples/marketing", "campaign roster"},
+		{"./examples/reduction", "with reduction"},
+		{"./examples/fairnessmodels", "strong"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", tc.dir)
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("%s failed: %v\n%s", tc.dir, err, out.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("%s output missing %q:\n%s", tc.dir, tc.want, out.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,364 @@
+// Package fairclique finds maximum relative fair cliques in attributed
+// graphs, reproducing "Efficient Maximum Fair Clique Search over Large
+// Networks" (Zhang, Li, Zheng, Qin, Yuan, Wang — ICDE 2025,
+// arXiv:2312.04088).
+//
+// A (k, δ)-relative fair clique of a graph whose vertices carry one of
+// two attributes is a clique with at least k vertices of each attribute
+// whose attribute counts differ by at most δ. This package exposes:
+//
+//   - Graph construction (NewGraph / builder methods, text IO),
+//   - Find: the exact MaxRFC branch-and-bound with the paper's
+//     reduction pipeline, upper bounds and heuristic seeding,
+//   - Heuristic: the linear-time HeurRFC approximation,
+//   - Reduce: the colorful-support reduction pipeline on its own,
+//   - Enumerate: the Bron–Kerbosch baseline.
+//
+// # Quick start
+//
+//	g := fairclique.NewGraph(4)
+//	g.SetAttr(0, fairclique.AttrA)
+//	g.SetAttr(1, fairclique.AttrA)
+//	g.SetAttr(2, fairclique.AttrB)
+//	g.SetAttr(3, fairclique.AttrB)
+//	for u := 0; u < 4; u++ {
+//		for v := u + 1; v < 4; v++ {
+//			g.AddEdge(u, v)
+//		}
+//	}
+//	res, err := fairclique.Find(g, fairclique.Options{K: 2, Delta: 0})
+//	// res.Clique == [0 1 2 3]
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the system inventory and the documented corrections to the paper's
+// pseudo-code.
+package fairclique
+
+import (
+	"fmt"
+	"io"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/core"
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+	"fairclique/internal/heuristic"
+	"fairclique/internal/reduce"
+)
+
+// Attr is a binary vertex attribute; the paper's A = {a, b}.
+type Attr = graph.Attr
+
+// Attribute values.
+const (
+	AttrA = graph.AttrA
+	AttrB = graph.AttrB
+)
+
+// UpperBound selects the extra upper bound used on top of the paper's
+// "advanced" group (ubs, uba, ubc, ubac, ubeac) — the six columns of
+// Table II.
+type UpperBound = bounds.Extra
+
+// Upper-bound configurations.
+const (
+	// UBAdvanced uses only the advanced group.
+	UBAdvanced = bounds.None
+	// UBDegeneracy adds the degeneracy bound ub△.
+	UBDegeneracy = bounds.Degeneracy
+	// UBHIndex adds the h-index bound ubh.
+	UBHIndex = bounds.HIndex
+	// UBColorfulDegeneracy adds the colorful degeneracy bound ubcd.
+	UBColorfulDegeneracy = bounds.ColorfulDegeneracy
+	// UBColorfulHIndex adds the colorful h-index bound ubch.
+	UBColorfulHIndex = bounds.ColorfulHIndex
+	// UBColorfulPath adds the colorful path bound ubcp.
+	UBColorfulPath = bounds.ColorfulPath
+)
+
+// Graph is a mutable attributed graph. Build it up with AddVertex /
+// SetAttr / AddEdge, then query it with Find and friends. Mutations
+// after a query are allowed; the next query re-freezes the graph.
+type Graph struct {
+	b      *graph.Builder
+	frozen *graph.Graph // cache invalidated by mutation
+}
+
+// NewGraph returns a graph with n vertices (ids 0..n-1), all AttrA.
+func NewGraph(n int) *Graph {
+	return &Graph{b: graph.NewBuilder(n)}
+}
+
+// AddVertex appends a vertex with the given attribute, returning its id.
+func (g *Graph) AddVertex(a Attr) int {
+	g.frozen = nil
+	return int(g.b.AddVertex(a))
+}
+
+// SetAttr sets the attribute of vertex v.
+func (g *Graph) SetAttr(v int, a Attr) {
+	g.frozen = nil
+	g.b.SetAttr(int32(v), a)
+}
+
+// AddEdge adds the undirected edge (u, v). Self-loops are ignored and
+// duplicates are deduplicated. Panics if an endpoint does not exist.
+func (g *Graph) AddEdge(u, v int) {
+	g.frozen = nil
+	g.b.AddEdge(int32(u), int32(v))
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return int(g.b.N()) }
+
+// M returns the number of distinct undirected edges.
+func (g *Graph) M() int { return int(g.freeze().M()) }
+
+// Attr returns the attribute of v.
+func (g *Graph) Attr(v int) Attr { return g.freeze().Attr(int32(v)) }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return int(g.freeze().Deg(int32(v))) }
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool { return g.freeze().HasEdge(int32(u), int32(v)) }
+
+// Neighbors returns the sorted neighbour list of v (a fresh slice).
+func (g *Graph) Neighbors(v int) []int {
+	nbrs := g.freeze().Neighbors(int32(v))
+	out := make([]int, len(nbrs))
+	for i, w := range nbrs {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// IsFairClique reports whether s is a (k, delta)-relative fair clique
+// of g, per Definition 1 condition (i).
+func (g *Graph) IsFairClique(s []int, k, delta int) bool {
+	return g.freeze().IsFairClique(toInt32(s), k, delta)
+}
+
+// freeze materializes the immutable snapshot queries run against.
+func (g *Graph) freeze() *graph.Graph {
+	if g.frozen == nil {
+		g.frozen = g.b.Build()
+	}
+	return g.frozen
+}
+
+// fromInternal wraps an already-built internal graph.
+func fromInternal(ig *graph.Graph) *Graph {
+	b := graph.NewBuilder(int(ig.N()))
+	for v := int32(0); v < ig.N(); v++ {
+		b.SetAttr(v, ig.Attr(v))
+	}
+	for e := int32(0); e < ig.M(); e++ {
+		u, v := ig.Edge(e)
+		b.AddEdge(u, v)
+	}
+	return &Graph{b: b, frozen: ig}
+}
+
+// ReadGraph parses a graph from the text format documented in the
+// internal graph package: "v <id> <a|b>" and "e <u> <v>" records, plus
+// plain SNAP-style "<u> <v>" edge lines.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	ig, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(ig), nil
+}
+
+// ReadGraphFile parses the graph stored at path.
+func ReadGraphFile(path string) (*Graph, error) {
+	ig, err := graph.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(ig), nil
+}
+
+// WriteGraph serializes g in the text format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	return graph.Write(w, g.freeze())
+}
+
+// Options configures Find. The zero value is invalid (K must be >= 1);
+// DefaultOptions supplies the recommended configuration.
+type Options struct {
+	// K is the per-attribute minimum count (>= 1).
+	K int
+	// Delta is the maximum attribute-count difference (>= 0).
+	Delta int
+	// DisableBounds turns off the upper-bound pruning group (the
+	// paper's plain "MaxRFC" baseline).
+	DisableBounds bool
+	// Bound selects the extra upper bound (default UBColorfulDegeneracy).
+	Bound UpperBound
+	// DisableHeuristic turns off HeurRFC incumbent seeding.
+	DisableHeuristic bool
+	// DisableReduction skips the graph reduction pipeline (ablation).
+	DisableReduction bool
+	// MaxNodes aborts after this many branch nodes when positive; the
+	// result is then a (possibly sub-optimal) fair clique with
+	// Result.Exact == false.
+	MaxNodes int64
+	// Workers searches connected components concurrently when > 1. The
+	// optimum size stays exact; with several equally-sized optima the
+	// returned vertex set may vary between runs.
+	Workers int
+}
+
+// DefaultOptions returns the recommended configuration for (k, delta):
+// all reductions, the colorful-degeneracy bound, heuristic seeding.
+func DefaultOptions(k, delta int) Options {
+	return Options{K: k, Delta: delta, Bound: UBColorfulDegeneracy}
+}
+
+// Result reports the outcome of Find.
+type Result struct {
+	// Clique is a maximum (k, δ)-relative fair clique, nil if none
+	// exists. Vertices are ids of the queried Graph.
+	Clique []int
+	// CountA and CountB are the attribute counts of Clique.
+	CountA, CountB int
+	// Exact is false only if MaxNodes aborted the search.
+	Exact bool
+	// Stats describes the search effort.
+	Stats SearchStats
+}
+
+// SearchStats summarizes search effort.
+type SearchStats struct {
+	// Nodes is the number of branch-and-bound nodes visited.
+	Nodes int64
+	// BoundChecks and BoundPrunes count expensive bound evaluations and
+	// the prunes they produced.
+	BoundChecks, BoundPrunes int64
+	// ReducedVertices and ReducedEdges are the graph size after the
+	// reduction pipeline.
+	ReducedVertices, ReducedEdges int
+	// HeuristicSize is the size of the HeurRFC seed clique (0 if none).
+	HeuristicSize int
+}
+
+// Size returns len(Clique).
+func (r *Result) Size() int { return len(r.Clique) }
+
+// Find computes a maximum relative fair clique of g (Algorithm 2,
+// MaxRFC). It returns an error only for invalid options.
+func Find(g *Graph, opt Options) (*Result, error) {
+	ig := g.freeze()
+	res, err := core.MaxRFC(ig, core.Options{
+		K:             opt.K,
+		Delta:         opt.Delta,
+		UseBounds:     !opt.DisableBounds,
+		Extra:         opt.Bound,
+		UseHeuristic:  !opt.DisableHeuristic,
+		SkipReduction: opt.DisableReduction,
+		MaxNodes:      opt.MaxNodes,
+		Workers:       opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Clique: toInt(res.Clique),
+		Exact:  !res.Stats.Aborted,
+		Stats: SearchStats{
+			Nodes:           res.Stats.Nodes,
+			BoundChecks:     res.Stats.BoundChecks,
+			BoundPrunes:     res.Stats.BoundPrunes,
+			ReducedVertices: int(res.Stats.ReducedVertices),
+			ReducedEdges:    int(res.Stats.ReducedEdges),
+			HeuristicSize:   res.Stats.HeuristicSize,
+		},
+	}
+	out.CountA, out.CountB = ig.CountAttrs(res.Clique)
+	return out, nil
+}
+
+// FindWeak computes a maximum *weak* fair clique (Pan et al. [23]): at
+// least k vertices of each attribute with no balance constraint. This
+// is the relative model with δ = |V|, so the same machinery applies.
+func FindWeak(g *Graph, k int) (*Result, error) {
+	opt := DefaultOptions(k, g.N())
+	return Find(g, opt)
+}
+
+// FindStrong computes a maximum *strong* fair clique (Pan et al.
+// [23]): at least k vertices of each attribute with exactly equal
+// counts — the relative model with δ = 0.
+func FindStrong(g *Graph, k int) (*Result, error) {
+	return Find(g, DefaultOptions(k, 0))
+}
+
+// Heuristic runs the linear-time HeurRFC framework (Algorithm 6) and
+// returns the fair clique it finds (nil if none) together with a valid
+// upper bound on the maximum fair clique size.
+func Heuristic(g *Graph, k, delta int) (clique []int, upperBound int, err error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("fairclique: k must be >= 1, got %d", k)
+	}
+	if delta < 0 {
+		return nil, 0, fmt.Errorf("fairclique: delta must be >= 0, got %d", delta)
+	}
+	res := heuristic.HeurRFC(g.freeze(), int32(k), int32(delta))
+	return toInt(res.Clique), int(res.UB), nil
+}
+
+// ReduceStats reports the sizes after each reduction stage.
+type ReduceStats struct {
+	Stage    string
+	Vertices int
+	Edges    int
+}
+
+// Reduce runs the reduction pipeline (EnColorfulCore -> ColorfulSup ->
+// EnColorfulSup) for the size constraint k and returns the surviving
+// subgraph (vertex ids refer to g) plus per-stage statistics. Every
+// (k, δ)-fair clique of g survives in full.
+func Reduce(g *Graph, k int) (kept []int, stages []ReduceStats, err error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("fairclique: k must be >= 1, got %d", k)
+	}
+	sub, st := reduce.Pipeline(g.freeze(), int32(k))
+	for _, s := range st {
+		stages = append(stages, ReduceStats{Stage: s.Name, Vertices: int(s.Vertices), Edges: int(s.Edges)})
+	}
+	return toInt(sub.ToParent), stages, nil
+}
+
+// Enumerate returns a maximum fair clique via the Bron–Kerbosch
+// enumeration baseline — exponential in the worst case, exact always.
+// Intended for validation and small graphs.
+func Enumerate(g *Graph, k, delta int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("fairclique: k must be >= 1, got %d", k)
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("fairclique: delta must be >= 0, got %d", delta)
+	}
+	return toInt(enum.MaxFairClique(g.freeze(), k, delta)), nil
+}
+
+func toInt32(s []int) []int32 {
+	out := make([]int32, len(s))
+	for i, v := range s {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func toInt(s []int32) []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package fairclique
+
+import (
+	"testing"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/core"
+	"fairclique/internal/enum"
+	"fairclique/internal/gen"
+	"fairclique/internal/heuristic"
+	"fairclique/internal/reduce"
+)
+
+// Cross-module invariants on every dataset stand-in at small scale —
+// the contracts the whole pipeline rests on, checked end to end rather
+// than per package:
+//
+//  1. the reduction pipeline preserves the optimum,
+//  2. the heuristic never beats the exact search and its UB never
+//     undercuts it,
+//  3. all bound configurations agree on the optimum,
+//  4. the exact result is a valid fair clique in original ids.
+func TestPipelineInvariantsOnAllDatasets(t *testing.T) {
+	for _, d := range gen.Datasets() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			g := d.Build(0.08)
+			k, delta := d.DefaultK, d.DefaultDelta
+
+			exact, err := core.MaxRFC(g, core.Options{K: k, Delta: delta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// (4) validity.
+			if exact.Clique != nil && !g.IsFairClique(exact.Clique, k, delta) {
+				t.Fatal("exact result invalid")
+			}
+			// (1) reduction preserves the optimum.
+			noRed, err := core.MaxRFC(g, core.Options{K: k, Delta: delta, SkipReduction: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if noRed.Size() != exact.Size() {
+				t.Fatalf("reduction changed optimum: %d vs %d", exact.Size(), noRed.Size())
+			}
+			// (2) heuristic bounds the optimum from both sides.
+			h := heuristic.HeurRFC(g, int32(k), int32(delta))
+			if len(h.Clique) > exact.Size() {
+				t.Fatalf("heuristic %d beats exact %d", len(h.Clique), exact.Size())
+			}
+			if h.UB < int32(exact.Size()) {
+				t.Fatalf("heuristic UB %d undercuts optimum %d", h.UB, exact.Size())
+			}
+			// (3) every bound configuration agrees.
+			for _, extra := range bounds.Extras() {
+				res, err := core.MaxRFC(g, core.Options{
+					K: k, Delta: delta, UseBounds: true, Extra: extra, UseHeuristic: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Size() != exact.Size() {
+					t.Fatalf("%s: optimum %d vs %d", extra, res.Size(), exact.Size())
+				}
+			}
+			// The reduction's survivors must contain the whole optimum.
+			sub, _ := reduce.Pipeline(g, int32(k))
+			inSub := map[int32]bool{}
+			for _, orig := range sub.ToParent {
+				inSub[orig] = true
+			}
+			for _, v := range exact.Clique {
+				if !inSub[v] {
+					t.Fatalf("reduction dropped optimum vertex %d", v)
+				}
+			}
+		})
+	}
+}
+
+// The enumeration baseline agrees with the search on a mid-size
+// stand-in (the strongest end-to-end equivalence this repo can check
+// in test time).
+func TestSearchMatchesEnumerationOnDataset(t *testing.T) {
+	d, _ := gen.DatasetByName("dblp-sim")
+	g := d.Build(0.05)
+	for _, kd := range [][2]int{{3, 2}, {4, 3}} {
+		k, delta := kd[0], kd[1]
+		want := len(enum.MaxFairClique(g, k, delta))
+		res, err := core.MaxRFC(g, core.Options{K: k, Delta: delta, UseBounds: true, UseHeuristic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size() != want {
+			t.Fatalf("k=%d δ=%d: search %d, enumeration %d", k, delta, res.Size(), want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// This file renders the experiments as terminal "figures": horizontal
+// log-scale bars, the closest faithful analogue of the paper's
+// log-axis plots (Figs. 4-7, 9) that a CLI can produce.
+// cmd/benchmark -format chart uses these.
+
+const barWidth = 42
+
+// logBar renders value on a log scale spanning [1, max].
+func logBar(value, max float64) string {
+	if value < 1 {
+		value = 1
+	}
+	if max < 10 {
+		max = 10
+	}
+	frac := math.Log(value) / math.Log(max)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*barWidth + 0.5)
+	if n < 1 && value > 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// ChartReduction draws Fig. 4 / Fig. 5 panels: per dataset and k, the
+// surviving edge counts of each reduction stage on a log axis.
+func ChartReduction(w io.Writer, title string, rows []ReductionRow) {
+	fmt.Fprintf(w, "\n%s — edges remaining (log scale)\n", title)
+	var max float64
+	for _, r := range rows {
+		if float64(r.OrigE) > max {
+			max = float64(r.OrigE)
+		}
+	}
+	cur := ""
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Fprintf(w, "\n%s\n", cur)
+		}
+		fmt.Fprintf(w, "  k=%d\n", r.K)
+		fmt.Fprintf(w, "    %-15s %-*s %d\n", "original", barWidth, logBar(float64(r.OrigE), max), r.OrigE)
+		for _, s := range r.Stages {
+			fmt.Fprintf(w, "    %-15s %-*s %d\n", s.Name, barWidth, logBar(float64(s.Edges), max), s.Edges)
+		}
+	}
+}
+
+// ChartAlgo draws Fig. 6 / Fig. 7 panels: the three variants' runtimes
+// per parameter value on a log axis.
+func ChartAlgo(w io.Writer, title string, rows []AlgoRow) {
+	fmt.Fprintf(w, "\n%s — runtime in µs (log scale)\n", title)
+	var max float64
+	us := func(d time.Duration) float64 { return float64(d.Microseconds()) }
+	for _, r := range rows {
+		for _, t := range []time.Duration{r.TPlain, r.TUB, r.TUBHeur} {
+			if us(t) > max {
+				max = us(t)
+			}
+		}
+	}
+	cur := ""
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Fprintf(w, "\n%s\n", cur)
+		}
+		fmt.Fprintf(w, "  %s=%d\n", r.Vary, r.Value)
+		fmt.Fprintf(w, "    %-18s %-*s %.0f\n", "MaxRFC", barWidth, logBar(us(r.TPlain), max), us(r.TPlain))
+		fmt.Fprintf(w, "    %-18s %-*s %.0f\n", "MaxRFC+ub", barWidth, logBar(us(r.TUB), max), us(r.TUB))
+		fmt.Fprintf(w, "    %-18s %-*s %.0f\n", "MaxRFC+ub+HeurRFC", barWidth, logBar(us(r.TUBHeur), max), us(r.TUBHeur))
+	}
+}
+
+// ChartSizes draws the Fig. 8 bar pairs (linear axis: sizes are small).
+func ChartSizes(w io.Writer, rows []SizeRow) {
+	fmt.Fprintf(w, "\nFig. 8 — HeurRFC vs exact MRFC size\n\n")
+	var max int
+	for _, r := range rows {
+		if r.ExactSize > max {
+			max = r.ExactSize
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, r := range rows {
+		hb := strings.Repeat("#", r.HeurSize*barWidth/max)
+		eb := strings.Repeat("#", r.ExactSize*barWidth/max)
+		fmt.Fprintf(w, "%s\n  HeurRFC %-*s %d\n  MRFC    %-*s %d\n",
+			r.Dataset, barWidth, hb, r.HeurSize, barWidth, eb, r.ExactSize)
+	}
+}
+
+// ChartScale draws the Fig. 9 panels.
+func ChartScale(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintf(w, "\nFig. 9 — scalability on flixster-sim, runtime in µs (log scale)\n")
+	us := func(d time.Duration) float64 { return float64(d.Microseconds()) }
+	var max float64
+	for _, r := range rows {
+		for _, t := range []time.Duration{r.TPlain, r.TUB, r.TUBHeur} {
+			if us(t) > max {
+				max = us(t)
+			}
+		}
+	}
+	for _, axis := range []string{"n", "m"} {
+		fmt.Fprintf(w, "\nvary %s\n", axis)
+		for _, r := range rows {
+			if r.Vary != axis {
+				continue
+			}
+			fmt.Fprintf(w, "  %d%%\n", r.Percent)
+			fmt.Fprintf(w, "    %-18s %-*s %.0f\n", "MaxRFC", barWidth, logBar(us(r.TPlain), max), us(r.TPlain))
+			fmt.Fprintf(w, "    %-18s %-*s %.0f\n", "MaxRFC+ub", barWidth, logBar(us(r.TUB), max), us(r.TUB))
+			fmt.Fprintf(w, "    %-18s %-*s %.0f\n", "MaxRFC+ub+HeurRFC", barWidth, logBar(us(r.TUBHeur), max), us(r.TUBHeur))
+		}
+	}
+}
+
+// RunCharts regenerates the figure-style experiments and renders them
+// as terminal charts.
+func RunCharts(cfg Config) {
+	w := cfg.out()
+	silent := cfg
+	silent.Out = nil
+	ChartReduction(w, "Fig. 4 — graph reduction (generated attributes)", Fig4(silent))
+	ChartReduction(w, "Fig. 5 — graph reduction (aminer-sim)", Fig5(silent))
+	ChartAlgo(w, "Fig. 6 — search algorithms", Fig6(silent))
+	ChartAlgo(w, "Fig. 7 — search algorithms (aminer-sim)", Fig7(silent))
+	ChartSizes(w, Fig8(silent))
+	ChartScale(w, Fig9(silent))
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Results bundles every experiment's structured rows for
+// machine-readable output (cmd/benchmark -format json), so plots can be
+// regenerated without re-parsing Markdown.
+type Results struct {
+	Scale       float64        `json:"scale"`
+	Fig4        []ReductionRow `json:"fig4"`
+	Fig5        []ReductionRow `json:"fig5"`
+	Table2      []UBRow        `json:"table2"`
+	Fig6        []AlgoRow      `json:"fig6"`
+	Fig7        []AlgoRow      `json:"fig7"`
+	Fig8        []SizeRow      `json:"fig8"`
+	Fig9        []ScaleRow     `json:"fig9"`
+	CaseStudies []CaseResult   `json:"caseStudies"`
+	Ablation    []AblationRow  `json:"ablation"`
+}
+
+// Collect runs the full suite silently and returns the structured
+// results.
+func Collect(cfg Config) *Results {
+	silent := cfg
+	silent.Out = nil
+	return &Results{
+		Scale:       cfg.scale(),
+		Fig4:        Fig4(silent),
+		Fig5:        Fig5(silent),
+		Table2:      Table2(silent),
+		Fig6:        Fig6(silent),
+		Fig7:        Fig7(silent),
+		Fig8:        Fig8(silent),
+		Fig9:        Fig9(silent),
+		CaseStudies: RunCaseStudies(silent),
+		Ablation:    Ablation(silent),
+	}
+}
+
+// WriteJSON runs the full suite and writes the results as indented JSON.
+func WriteJSON(cfg Config, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Collect(cfg))
+}

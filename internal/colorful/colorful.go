@@ -1,0 +1,354 @@
+// Package colorful implements the color-and-attribute-aware degree
+// structures at the heart of the paper's reductions and bounds:
+//
+//   - colorful degrees Da/Db (Definition 2) and the colorful k-core
+//     (Definition 3, Lemma 1),
+//   - enhanced colorful degree ED (Definition 4) and the enhanced
+//     colorful k-core (Definition 5, Lemma 2),
+//   - colorful core numbers / colorful degeneracy (Definitions 8–9) and
+//     the colorful-core peeling order used by CalColorOD,
+//   - the colorful h-index (Definition 10).
+package colorful
+
+import (
+	"fairclique/internal/color"
+	"fairclique/internal/graph"
+	"fairclique/internal/kcore"
+)
+
+// Degrees holds the per-vertex colorful degrees of a colored graph:
+// Da(u) and Db(u) count the distinct colors among u's neighbours with
+// attribute a and b respectively.
+type Degrees struct {
+	Da, Db []int32
+}
+
+// Dmin returns min(Da(u), Db(u)).
+func (d *Degrees) Dmin(u int32) int32 {
+	if d.Da[u] < d.Db[u] {
+		return d.Da[u]
+	}
+	return d.Db[u]
+}
+
+// ComputeDegrees computes the colorful degrees of every vertex of g
+// under the coloring col.
+func ComputeDegrees(g *graph.Graph, col *color.Coloring) *Degrees {
+	n := g.N()
+	d := &Degrees{Da: make([]int32, n), Db: make([]int32, n)}
+	cnt := newAttrColorCounter(n, col.Num)
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if cnt.inc(u, g.Attr(w), col.Of(w)) {
+				if g.Attr(w) == graph.AttrA {
+					d.Da[u]++
+				} else {
+					d.Db[u]++
+				}
+			}
+		}
+	}
+	return d
+}
+
+// KCore peels g down to its colorful k-core: the maximal subgraph in
+// which every vertex u has min(Da(u), Db(u)) >= k. It returns the alive
+// mask over g's vertices. Implements the reduction of Lemma 1 when
+// called with k-1.
+func KCore(g *graph.Graph, col *color.Coloring, k int32) []bool {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	if n == 0 {
+		return alive
+	}
+	cnt := newAttrColorCounter(n, col.Num)
+	da := make([]int32, n)
+	db := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if cnt.inc(u, g.Attr(w), col.Of(w)) {
+				if g.Attr(w) == graph.AttrA {
+					da[u]++
+				} else {
+					db[u]++
+				}
+			}
+		}
+	}
+	queued := make([]bool, n)
+	var queue []int32
+	push := func(v int32) {
+		if !queued[v] {
+			queued[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		if da[v] < k || db[v] < k {
+			push(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		alive[v] = false
+		av, cv := g.Attr(v), col.Of(v)
+		for _, w := range g.Neighbors(v) {
+			if !alive[w] {
+				continue
+			}
+			if cnt.dec(w, av, cv) {
+				if av == graph.AttrA {
+					da[w]--
+					if da[w] < k {
+						push(w)
+					}
+				} else {
+					db[w]--
+					if db[w] < k {
+						push(w)
+					}
+				}
+			}
+		}
+	}
+	return alive
+}
+
+// EDValue returns the enhanced colorful degree value for a vertex whose
+// neighbour colors split into ca exclusive-a colors, cb exclusive-b
+// colors, and cm mixed colors (Definition 4): the best achievable
+// min(side a, side b) over assignments of each mixed color to one side.
+func EDValue(ca, cb, cm int32) int32 {
+	lo, hi := ca, cb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo+cm <= hi {
+		return lo + cm
+	}
+	return (ca + cb + cm) / 2
+}
+
+// EnhancedKCore peels g down to its enhanced colorful k-core: the
+// maximal subgraph in which every vertex u has ED(u) >= k, where each
+// color is assigned exclusively to one attribute (Definition 5).
+// Implements the reduction of Lemma 2 when called with k-1.
+func EnhancedKCore(g *graph.Graph, col *color.Coloring, k int32) []bool {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	if n == 0 {
+		return alive
+	}
+	cnt := newAttrColorCounter(n, col.Num)
+	// Per-vertex color-group tallies: exclusive-a, exclusive-b, mixed.
+	ca := make([]int32, n)
+	cb := make([]int32, n)
+	cm := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			aw, cw := g.Attr(w), col.Of(w)
+			fresh := cnt.inc(u, aw, cw)
+			if !fresh {
+				continue
+			}
+			other := cnt.get(u, aw.Other(), cw)
+			if other > 0 {
+				// Color moves from exclusive-other to mixed.
+				cm[u]++
+				if aw == graph.AttrA {
+					cb[u]--
+				} else {
+					ca[u]--
+				}
+			} else if aw == graph.AttrA {
+				ca[u]++
+			} else {
+				cb[u]++
+			}
+		}
+	}
+	queued := make([]bool, n)
+	var queue []int32
+	push := func(v int32) {
+		if !queued[v] {
+			queued[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		if EDValue(ca[v], cb[v], cm[v]) < k {
+			push(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		alive[v] = false
+		av, cv := g.Attr(v), col.Of(v)
+		for _, w := range g.Neighbors(v) {
+			if !alive[w] {
+				continue
+			}
+			if !cnt.dec(w, av, cv) {
+				continue
+			}
+			// Color cv lost its attribute-av presence at w.
+			other := cnt.get(w, av.Other(), cv)
+			if other > 0 {
+				// Mixed -> exclusive other attribute.
+				cm[w]--
+				if av == graph.AttrA {
+					cb[w]++
+				} else {
+					ca[w]++
+				}
+			} else if av == graph.AttrA {
+				ca[w]--
+			} else {
+				cb[w]--
+			}
+			if EDValue(ca[w], cb[w], cm[w]) < k {
+				push(w)
+			}
+		}
+	}
+	return alive
+}
+
+// Decomposition is a full colorful core decomposition.
+type Decomposition struct {
+	// Core[v] is the colorful core number of v (Definition 8): the
+	// largest k such that the colorful k-core contains v.
+	Core []int32
+	// Order is the peeling order; CalColorOD in Algorithm 2 ranks
+	// vertices by their position here.
+	Order []int32
+	// Degeneracy is the colorful degeneracy (Definition 9).
+	Degeneracy int32
+}
+
+// Decompose computes colorful core numbers by generalized min-peeling
+// on Dmin = min(Da, Db): repeatedly remove the vertex with smallest
+// current Dmin; its core number is the running maximum of the value at
+// removal. Dmin is monotone under vertex deletion, which makes this the
+// standard generalized-core construction.
+func Decompose(g *graph.Graph, col *color.Coloring) *Decomposition {
+	n := g.N()
+	d := &Decomposition{Core: make([]int32, n), Order: make([]int32, 0, n)}
+	if n == 0 {
+		return d
+	}
+	cnt := newAttrColorCounter(n, col.Num)
+	da := make([]int32, n)
+	db := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if cnt.inc(u, g.Attr(w), col.Of(w)) {
+				if g.Attr(w) == graph.AttrA {
+					da[u]++
+				} else {
+					db[u]++
+				}
+			}
+		}
+	}
+	key := make([]int32, n)
+	maxKey := int32(0)
+	for v := int32(0); v < n; v++ {
+		key[v] = min32(da[v], db[v])
+		if key[v] > maxKey {
+			maxKey = key[v]
+		}
+	}
+	// Lazy bucket queue: buckets[d] holds candidates whose key may be d;
+	// stale entries (key changed or already removed) are skipped on pop.
+	buckets := make([][]int32, maxKey+1)
+	for v := int32(0); v < n; v++ {
+		buckets[key[v]] = append(buckets[key[v]], v)
+	}
+	removed := make([]bool, n)
+	ptr := int32(0)
+	var level int32
+	for popped := int32(0); popped < n; {
+		for ptr <= maxKey && len(buckets[ptr]) == 0 {
+			ptr++
+		}
+		b := buckets[ptr]
+		v := b[len(b)-1]
+		buckets[ptr] = b[:len(b)-1]
+		if removed[v] || key[v] != ptr {
+			continue // stale entry
+		}
+		removed[v] = true
+		popped++
+		if ptr > level {
+			level = ptr
+		}
+		d.Core[v] = level
+		d.Order = append(d.Order, v)
+		av, cv := g.Attr(v), col.Of(v)
+		for _, w := range g.Neighbors(v) {
+			if removed[w] {
+				continue
+			}
+			if cnt.dec(w, av, cv) {
+				if av == graph.AttrA {
+					da[w]--
+				} else {
+					db[w]--
+				}
+				nk := min32(da[w], db[w])
+				if nk < key[w] {
+					key[w] = nk
+					buckets[nk] = append(buckets[nk], w)
+					if nk < ptr {
+						ptr = nk
+					}
+				}
+			}
+		}
+	}
+	d.Degeneracy = level
+	return d
+}
+
+// Degeneracy returns the colorful degeneracy of g under col.
+func Degeneracy(g *graph.Graph, col *color.Coloring) int32 {
+	return Decompose(g, col).Degeneracy
+}
+
+// HIndex returns the colorful h-index of g under col (Definition 10):
+// the largest h such that at least h vertices have Dmin >= h.
+func HIndex(g *graph.Graph, col *color.Coloring) int32 {
+	deg := ComputeDegrees(g, col)
+	seq := make([]int32, g.N())
+	for v := int32(0); v < g.N(); v++ {
+		seq[v] = deg.Dmin(v)
+	}
+	return kcore.HIndexOf(seq)
+}
+
+// PeelRank returns rank[v] = position of v in the colorful-core peeling
+// order; this is the CalColorOD vertex ordering of Algorithm 2 line 9.
+func PeelRank(g *graph.Graph, col *color.Coloring) []int32 {
+	d := Decompose(g, col)
+	rank := make([]int32, g.N())
+	for i, v := range d.Order {
+		rank[v] = int32(i)
+	}
+	return rank
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,388 @@
+package colorful
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairclique/internal/color"
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+func random(seed uint64, n int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func complete(n, na int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if v >= na {
+			b.SetAttr(int32(v), graph.AttrB)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// bruteDegrees recomputes colorful degrees with maps, as an oracle.
+func bruteDegrees(g *graph.Graph, col *color.Coloring) ([]int32, []int32) {
+	n := g.N()
+	da := make([]int32, n)
+	db := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		seenA := map[int32]bool{}
+		seenB := map[int32]bool{}
+		for _, w := range g.Neighbors(u) {
+			if g.Attr(w) == graph.AttrA {
+				seenA[col.Of(w)] = true
+			} else {
+				seenB[col.Of(w)] = true
+			}
+		}
+		da[u], db[u] = int32(len(seenA)), int32(len(seenB))
+	}
+	return da, db
+}
+
+// bruteColorfulKCore iteratively removes Dmin<k vertices by rescanning.
+func bruteColorfulKCore(g *graph.Graph, col *color.Coloring, k int32) []bool {
+	n := int(g.N())
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			seenA := map[int32]bool{}
+			seenB := map[int32]bool{}
+			for _, w := range g.Neighbors(int32(v)) {
+				if !alive[w] {
+					continue
+				}
+				if g.Attr(w) == graph.AttrA {
+					seenA[col.Of(w)] = true
+				} else {
+					seenB[col.Of(w)] = true
+				}
+			}
+			if len(seenA) < int(k) || len(seenB) < int(k) {
+				alive[v] = false
+				changed = true
+			}
+		}
+	}
+	return alive
+}
+
+func TestComputeDegreesComplete(t *testing.T) {
+	// Balanced K6: every vertex sees 3 a's and 3 b's (minus itself),
+	// all distinct colors.
+	g := complete(6, 3)
+	col := color.Greedy(g)
+	d := ComputeDegrees(g, col)
+	for v := int32(0); v < 6; v++ {
+		wantA, wantB := int32(3), int32(3)
+		if g.Attr(v) == graph.AttrA {
+			wantA = 2
+		} else {
+			wantB = 2
+		}
+		if d.Da[v] != wantA || d.Db[v] != wantB {
+			t.Fatalf("vertex %d: Da=%d Db=%d; want %d %d", v, d.Da[v], d.Db[v], wantA, wantB)
+		}
+	}
+	if d.Dmin(0) != 2 {
+		t.Fatalf("Dmin(0) = %d; want 2", d.Dmin(0))
+	}
+}
+
+func TestComputeDegreesSharedColors(t *testing.T) {
+	// Star: center 0, leaves 1..4. Leaves are pairwise non-adjacent so
+	// greedy gives them all the same color. Two a-leaves, two b-leaves:
+	// Da(center)=1, Db(center)=1 despite degree 4.
+	b := graph.NewBuilder(5)
+	b.SetAttr(1, graph.AttrA)
+	b.SetAttr(2, graph.AttrA)
+	b.SetAttr(3, graph.AttrB)
+	b.SetAttr(4, graph.AttrB)
+	for v := int32(1); v <= 4; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	col := color.Greedy(g)
+	d := ComputeDegrees(g, col)
+	if d.Da[0] != 1 || d.Db[0] != 1 {
+		t.Fatalf("star center Da=%d Db=%d; want 1 1", d.Da[0], d.Db[0])
+	}
+}
+
+func TestComputeDegreesAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := random(seed, 60, 0.15)
+		col := color.Greedy(g)
+		d := ComputeDegrees(g, col)
+		da, db := bruteDegrees(g, col)
+		for v := range da {
+			if d.Da[v] != da[v] || d.Db[v] != db[v] {
+				t.Fatalf("seed %d vertex %d: (%d,%d) vs brute (%d,%d)",
+					seed, v, d.Da[v], d.Db[v], da[v], db[v])
+			}
+		}
+	}
+}
+
+func TestKCoreAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := random(seed, 50, 0.2)
+		col := color.Greedy(g)
+		for k := int32(0); k <= 4; k++ {
+			got := KCore(g, col, k)
+			want := bruteColorfulKCore(g, col, k)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d k=%d vertex %d: got %v want %v", seed, k, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestKCoreOfBalancedClique(t *testing.T) {
+	g := complete(8, 4)
+	col := color.Greedy(g)
+	// Every vertex has Dmin = 3 (own attribute contributes 3 others).
+	alive := KCore(g, col, 3)
+	for v, ok := range alive {
+		if !ok {
+			t.Fatalf("vertex %d peeled from 3-core of balanced K8", v)
+		}
+	}
+	alive = KCore(g, col, 4)
+	for v, ok := range alive {
+		if ok {
+			t.Fatalf("vertex %d survived 4-core of balanced K8", v)
+		}
+	}
+}
+
+func TestEDValue(t *testing.T) {
+	cases := []struct {
+		ca, cb, cm, want int32
+	}{
+		{0, 0, 0, 0},
+		{3, 3, 0, 3},
+		{1, 5, 0, 1},
+		{1, 5, 2, 3},  // mixed all to a: min(3,5)=3
+		{1, 5, 4, 5},  // 1+4=5 <= 5: lo+cm
+		{1, 5, 6, 6},  // balance: (1+5+6)/2 = 6
+		{0, 10, 2, 2}, // all mixed to a
+		{4, 4, 3, 5},  // (4+4+3)/2 = 5
+		{7, 2, 1, 3},  // lo=2+1=3 <= 7
+	}
+	for _, tc := range cases {
+		if got := EDValue(tc.ca, tc.cb, tc.cm); got != tc.want {
+			t.Errorf("EDValue(%d,%d,%d) = %d; want %d", tc.ca, tc.cb, tc.cm, got, tc.want)
+		}
+	}
+}
+
+// ED(u) <= Dmin(u) always, so the enhanced k-core is a subgraph of the
+// colorful k-core.
+func TestEnhancedCoreSubsetOfColorfulCore(t *testing.T) {
+	f := func(seed uint64, n8, k8 uint8) bool {
+		n := int(n8%50) + 2
+		k := int32(k8 % 5)
+		g := random(seed, n, 0.25)
+		col := color.Greedy(g)
+		en := EnhancedKCore(g, col, k)
+		plain := KCore(g, col, k)
+		for v := range en {
+			if en[v] && !plain[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every vertex that survives EnhancedKCore(k) must have ED >= k in the
+// surviving subgraph (the defining property of the enhanced core).
+func TestEnhancedCoreDefiningProperty(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := random(seed, 60, 0.2)
+		col := color.Greedy(g)
+		k := int32(2)
+		alive := EnhancedKCore(g, col, k)
+		for v := int32(0); v < g.N(); v++ {
+			if !alive[v] {
+				continue
+			}
+			// Recompute groups among alive neighbours.
+			cntA := map[int32]int32{}
+			cntB := map[int32]int32{}
+			for _, w := range g.Neighbors(v) {
+				if !alive[w] {
+					continue
+				}
+				if g.Attr(w) == graph.AttrA {
+					cntA[col.Of(w)]++
+				} else {
+					cntB[col.Of(w)]++
+				}
+			}
+			var ca, cb, cm int32
+			for c := range cntA {
+				if cntB[c] > 0 {
+					cm++
+				} else {
+					ca++
+				}
+			}
+			for c := range cntB {
+				if cntA[c] == 0 {
+					cb++
+				}
+			}
+			if EDValue(ca, cb, cm) < k {
+				t.Fatalf("seed %d: vertex %d survives but ED=%d < %d",
+					seed, v, EDValue(ca, cb, cm), k)
+			}
+		}
+	}
+}
+
+// A balanced clique survives the enhanced (k-1)-core, per Lemma 2.
+func TestEnhancedCorePreservesFairClique(t *testing.T) {
+	// Balanced K10 plus pendant noise.
+	b := graph.NewBuilder(14)
+	for v := 0; v < 10; v++ {
+		b.SetAttr(int32(v), graph.Attr(v%2))
+	}
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	for v := 10; v < 14; v++ {
+		b.SetAttr(int32(v), graph.Attr(v%2))
+		b.AddEdge(int32(v), int32(v-10))
+	}
+	g := b.Build()
+	col := color.Greedy(g)
+	k := int32(5) // clique has 5 of each attribute
+	alive := EnhancedKCore(g, col, k-1)
+	for v := 0; v < 10; v++ {
+		if !alive[v] {
+			t.Fatalf("clique vertex %d peeled by enhanced (k-1)-core", v)
+		}
+	}
+	for v := 10; v < 14; v++ {
+		if alive[v] {
+			t.Fatalf("pendant %d survived", v)
+		}
+	}
+}
+
+// Colorful core numbers must be consistent with threshold peeling:
+// ccore(v) >= k iff v is in the colorful k-core.
+func TestDecomposeConsistentWithKCore(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := random(seed, 45, 0.25)
+		col := color.Greedy(g)
+		d := Decompose(g, col)
+		for k := int32(0); k <= d.Degeneracy+1; k++ {
+			alive := KCore(g, col, k)
+			for v := int32(0); v < g.N(); v++ {
+				if alive[v] != (d.Core[v] >= k) {
+					t.Fatalf("seed %d k=%d vertex %d: kcore=%v ccore=%d",
+						seed, k, v, alive[v], d.Core[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeOrderComplete(t *testing.T) {
+	g := complete(6, 3)
+	col := color.Greedy(g)
+	d := Decompose(g, col)
+	if d.Degeneracy != 2 {
+		t.Fatalf("balanced K6 colorful degeneracy %d; want 2", d.Degeneracy)
+	}
+	if len(d.Order) != 6 {
+		t.Fatalf("order %v", d.Order)
+	}
+	rank := PeelRank(g, col)
+	seen := make([]bool, 6)
+	for _, r := range rank {
+		if r < 0 || r >= 6 || seen[r] {
+			t.Fatalf("rank %v is not a permutation", rank)
+		}
+		seen[r] = true
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	col := color.Greedy(g)
+	d := Decompose(g, col)
+	if d.Degeneracy != 0 || len(d.Order) != 0 {
+		t.Fatalf("empty decomposition %+v", d)
+	}
+}
+
+func TestHIndex(t *testing.T) {
+	g := complete(8, 4)
+	col := color.Greedy(g)
+	// All 8 vertices have Dmin = 3.
+	if h := HIndex(g, col); h != 3 {
+		t.Fatalf("colorful h-index %d; want 3", h)
+	}
+}
+
+// Colorful degeneracy <= colorful h-index (the nonempty degeneracy-core
+// witnesses >= degeneracy vertices of Dmin >= degeneracy).
+func TestDegeneracyAtMostHIndex(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%60) + 1
+		g := random(seed, n, 0.2)
+		col := color.Greedy(g)
+		return Degeneracy(g, col) <= HIndex(g, col)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkColorfulDecompose(b *testing.B) {
+	g := random(1, 1500, 0.01)
+	col := color.Greedy(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(g, col)
+	}
+}

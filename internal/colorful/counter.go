@@ -1,0 +1,82 @@
+package colorful
+
+import "fairclique/internal/graph"
+
+// attrColorCounter tracks, for every vertex u, how many (alive)
+// neighbours of u carry each (attribute, color) pair. It backs the
+// colorful-degree peeling algorithms: a colorful degree Da(u) is the
+// number of colors whose attribute-a counter is non-zero.
+//
+// Storage is a flat [n × 2 × numColors] array when that fits a budget,
+// falling back to per-vertex maps for very large sparse instances.
+type attrColorCounter struct {
+	numColors int32
+	flat      []int32
+	maps      []map[int32]int32
+}
+
+// flatBudget caps the flat array at 32M entries (128 MB). It is a
+// variable so tests can force the map fallback path.
+var flatBudget int64 = 1 << 25
+
+func newAttrColorCounter(n, numColors int32) *attrColorCounter {
+	c := &attrColorCounter{numColors: numColors}
+	if numColors == 0 {
+		numColors = 1
+		c.numColors = 1
+	}
+	entries := int64(n) * 2 * int64(numColors)
+	if entries <= flatBudget {
+		c.flat = make([]int32, entries)
+	} else {
+		c.maps = make([]map[int32]int32, n)
+		for i := range c.maps {
+			c.maps[i] = make(map[int32]int32, 4)
+		}
+	}
+	return c
+}
+
+func (c *attrColorCounter) key(attr graph.Attr, color int32) int32 {
+	return int32(attr)*c.numColors + color
+}
+
+// inc increments the (attr, color) counter of u and reports whether the
+// counter transitioned from zero (i.e. a new color appeared).
+func (c *attrColorCounter) inc(u int32, attr graph.Attr, color int32) bool {
+	k := c.key(attr, color)
+	if c.flat != nil {
+		idx := int64(u)*2*int64(c.numColors) + int64(k)
+		c.flat[idx]++
+		return c.flat[idx] == 1
+	}
+	c.maps[u][k]++
+	return c.maps[u][k] == 1
+}
+
+// dec decrements the (attr, color) counter of u and reports whether the
+// counter reached zero (i.e. a color disappeared).
+func (c *attrColorCounter) dec(u int32, attr graph.Attr, color int32) bool {
+	k := c.key(attr, color)
+	if c.flat != nil {
+		idx := int64(u)*2*int64(c.numColors) + int64(k)
+		c.flat[idx]--
+		return c.flat[idx] == 0
+	}
+	m := c.maps[u]
+	m[k]--
+	if m[k] == 0 {
+		delete(m, k)
+		return true
+	}
+	return false
+}
+
+// get returns the (attr, color) counter of u.
+func (c *attrColorCounter) get(u int32, attr graph.Attr, color int32) int32 {
+	k := c.key(attr, color)
+	if c.flat != nil {
+		return c.flat[int64(u)*2*int64(c.numColors)+int64(k)]
+	}
+	return c.maps[u][k]
+}

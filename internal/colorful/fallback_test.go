@@ -1,0 +1,67 @@
+package colorful
+
+import (
+	"testing"
+
+	"fairclique/internal/color"
+)
+
+// withMapFallback runs fn with the flat-array budget forced to zero so
+// every counter uses the per-vertex map path.
+func withMapFallback(t *testing.T, fn func()) {
+	t.Helper()
+	old := flatBudget
+	flatBudget = 0
+	defer func() { flatBudget = old }()
+	fn()
+}
+
+// The map fallback must produce byte-identical results to the flat
+// path for every colorful structure.
+func TestMapFallbackEquivalence(t *testing.T) {
+	g := random(42, 60, 0.25)
+	col := color.Greedy(g)
+
+	flatDeg := ComputeDegrees(g, col)
+	flatCore := KCore(g, col, 2)
+	flatEn := EnhancedKCore(g, col, 2)
+	flatDecomp := Decompose(g, col)
+
+	withMapFallback(t, func() {
+		deg := ComputeDegrees(g, col)
+		for v := int32(0); v < g.N(); v++ {
+			if deg.Da[v] != flatDeg.Da[v] || deg.Db[v] != flatDeg.Db[v] {
+				t.Fatalf("degrees diverge at %d", v)
+			}
+		}
+		core := KCore(g, col, 2)
+		en := EnhancedKCore(g, col, 2)
+		for v := range core {
+			if core[v] != flatCore[v] {
+				t.Fatalf("kcore diverges at %d", v)
+			}
+			if en[v] != flatEn[v] {
+				t.Fatalf("enhanced kcore diverges at %d", v)
+			}
+		}
+		d := Decompose(g, col)
+		for v := range d.Core {
+			if d.Core[v] != flatDecomp.Core[v] {
+				t.Fatalf("core numbers diverge at %d", v)
+			}
+		}
+	})
+}
+
+func TestCounterZeroColors(t *testing.T) {
+	c := newAttrColorCounter(3, 0)
+	if !c.inc(0, 0, 0) {
+		t.Fatal("first inc should report fresh")
+	}
+	if c.get(0, 0, 0) != 1 {
+		t.Fatal("get after inc")
+	}
+	if !c.dec(0, 0, 0) {
+		t.Fatal("dec to zero should report emptied")
+	}
+}

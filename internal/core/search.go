@@ -1,0 +1,447 @@
+// Package core implements the paper's primary contribution: the MaxRFC
+// branch-and-bound search for the maximum relative fair clique
+// (Algorithms 2-3), on top of the reduction pipeline (internal/reduce),
+// the upper-bound suite (internal/bounds) and the heuristic seeding
+// framework (internal/heuristic).
+//
+// The search follows Algorithm 2: reduce the graph with
+// EnColorfulCore -> ColorfulSup -> EnColorfulSup, optionally seed the
+// incumbent with HeurRFC, then branch-and-bound each connected
+// component under the colorful-core peeling order (CalColorOD). The
+// branching preserves the paper's alternating-attribute design via the
+// count-difference state machine described in DESIGN.md (corrections
+// 7-9), which is validated against a brute-force oracle.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/color"
+	"fairclique/internal/colorful"
+	"fairclique/internal/graph"
+	"fairclique/internal/heuristic"
+	"fairclique/internal/reduce"
+)
+
+// Options configures a MaxRFC run. The zero value of the feature flags
+// reproduces the paper's plain "MaxRFC" baseline (reductions plus the
+// size bound only); enabling UseBounds gives "MaxRFC+ub" and enabling
+// both gives "MaxRFC+ub+HeurRFC".
+type Options struct {
+	// K is the per-attribute minimum (k >= 1).
+	K int
+	// Delta is the attribute-difference tolerance (delta >= 0).
+	Delta int
+	// UseBounds applies the advanced bound group ubAD plus Extra at
+	// shallow branch depths.
+	UseBounds bool
+	// Extra selects the additional non-trivial bound (Table II column).
+	Extra bounds.Extra
+	// UseHeuristic seeds the incumbent with HeurRFC before branching.
+	UseHeuristic bool
+	// BoundDepth is the largest |R| at which the expensive bounds are
+	// evaluated; 0 means the paper's default of 1 ("when selecting
+	// vertices to be added to R for the first time").
+	BoundDepth int
+	// SkipReduction disables the reduction pipeline (ablation only).
+	SkipReduction bool
+	// MaxNodes aborts the search after this many branch nodes when
+	// positive (safety valve for experiment sweeps). The result is then
+	// the best clique found so far and Stats.Aborted is set.
+	MaxNodes int64
+	// Workers sets the number of goroutines searching connected
+	// components concurrently. 0 or 1 searches serially (fully
+	// deterministic). With more workers the optimum size is still
+	// exact, but which of several equally-sized cliques is returned may
+	// vary between runs.
+	Workers int
+}
+
+// Stats reports search effort, for the experiment harness.
+type Stats struct {
+	// Nodes is the number of branch-and-bound nodes visited.
+	Nodes int64
+	// BoundChecks counts expensive bound evaluations; BoundPrunes counts
+	// how many of them pruned their node.
+	BoundChecks, BoundPrunes int64
+	// ReducedVertices/ReducedEdges is the graph size after reduction.
+	ReducedVertices, ReducedEdges int32
+	// Components is the number of connected components searched.
+	Components int
+	// HeuristicSize is the size of the HeurRFC seed (0 if unused/none).
+	HeuristicSize int
+	// Aborted is set when MaxNodes stopped the search early.
+	Aborted bool
+}
+
+// Result is the outcome of a MaxRFC run.
+type Result struct {
+	// Clique is a maximum relative fair clique in g's vertex ids, or
+	// nil when no (k, delta)-fair clique exists.
+	Clique []int32
+	// Stats describes the search effort.
+	Stats Stats
+}
+
+// Size returns len(Clique).
+func (r *Result) Size() int { return len(r.Clique) }
+
+// MaxRFC finds a maximum relative fair clique of g (Algorithm 2).
+func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", opt.K)
+	}
+	if opt.Delta < 0 {
+		return nil, fmt.Errorf("core: Delta must be >= 0, got %d", opt.Delta)
+	}
+	if opt.BoundDepth <= 0 {
+		opt.BoundDepth = 1
+	}
+	res := &Result{}
+
+	// Lines 1-3: reduction pipeline.
+	var work *graph.Graph
+	var toOrig []int32
+	if opt.SkipReduction {
+		work = g
+		toOrig = identity(g.N())
+	} else {
+		sub, _ := reduce.Pipeline(g, int32(opt.K))
+		work, toOrig = sub.G, sub.ToParent
+	}
+	res.Stats.ReducedVertices, res.Stats.ReducedEdges = work.N(), work.M()
+	if work.N() == 0 {
+		return res, nil
+	}
+
+	s := &searcher{
+		g:     work,
+		k:     int32(opt.K),
+		delta: int32(opt.Delta),
+		opt:   opt,
+	}
+
+	// Remark in §V: seed the incumbent with the heuristic result.
+	if opt.UseHeuristic {
+		h := heuristic.HeurRFC(work, s.k, s.delta)
+		if h.Clique != nil {
+			s.best = append([]int32(nil), h.Clique...)
+			s.bestSize.Store(int32(len(h.Clique)))
+			res.Stats.HeuristicSize = len(h.Clique)
+		}
+	}
+
+	// Lines 6-11: branch each connected component under CalColorOD.
+	// Components are searched largest-first: good incumbents surface
+	// early and parallel workers get balanced loads.
+	comps := graph.ConnectedComponents(work)
+	res.Stats.Components = len(comps)
+	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	if opt.Workers > 1 {
+		jobs := make(chan []int32)
+		var wg sync.WaitGroup
+		for w := 0; w < opt.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for comp := range jobs {
+					s.searchComponent(comp)
+				}
+			}()
+		}
+		for _, comp := range comps {
+			if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*opt.K {
+				continue
+			}
+			if s.aborted.Load() {
+				break
+			}
+			jobs <- comp
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for _, comp := range comps {
+			if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*opt.K {
+				continue
+			}
+			s.searchComponent(comp)
+			if s.aborted.Load() {
+				break
+			}
+		}
+	}
+
+	res.Stats.Nodes = s.nodes.Load()
+	res.Stats.BoundChecks = s.boundChecks.Load()
+	res.Stats.BoundPrunes = s.boundPrunes.Load()
+	res.Stats.Aborted = s.aborted.Load()
+	if s.best != nil {
+		res.Clique = make([]int32, len(s.best))
+		for i, v := range s.best {
+			res.Clique[i] = toOrig[v]
+		}
+	}
+	return res, nil
+}
+
+// searcher holds the shared state of one MaxRFC run over the reduced
+// graph: the incumbent and the effort counters, all safe for
+// concurrent component workers.
+type searcher struct {
+	g        *graph.Graph
+	k, delta int32
+	opt      Options
+
+	mu       sync.Mutex
+	best     []int32      // in reduced-graph ids
+	bestSize atomic.Int32 // fast reads on the hot path
+
+	nodes       atomic.Int64
+	boundChecks atomic.Int64
+	boundPrunes atomic.Int64
+	aborted     atomic.Bool
+}
+
+// record publishes a fair clique (in reduced-graph ids) if it improves
+// the incumbent.
+func (s *searcher) record(r []int32, toWork []int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sz := int32(len(r)); sz > int32(len(s.best)) {
+		s.best = mapVerts(r, toWork)
+		s.bestSize.Store(sz)
+	}
+}
+
+// adjBitsetLimit caps bitset adjacency at 4096 vertices (2 MiB).
+const adjBitsetLimit = 4096
+
+// compCtx is the per-component (and per-goroutine) search context.
+type compCtx struct {
+	s       *searcher
+	comp    *graph.Graph // induced component
+	toWork  []int32      // component id -> reduced-graph id
+	rank    []int32      // CalColorOD rank within the component
+	adj     []uint64     // bitset adjacency when the component is small
+	adjBits int32        // words per row (0 when bitsets are disabled)
+}
+
+func (s *searcher) searchComponent(comp []int32) {
+	sub := graph.Induce(s.g, comp)
+	ctx := &compCtx{s: s, comp: sub.G, toWork: sub.ToParent}
+
+	// Line 9: CalColorOD — the colorful-core peeling order.
+	col := color.Greedy(ctx.comp)
+	ctx.rank = colorful.PeelRank(ctx.comp, col)
+
+	n := ctx.comp.N()
+	if n <= adjBitsetLimit {
+		words := (n + 63) / 64
+		ctx.adjBits = words
+		ctx.adj = make([]uint64, int64(n)*int64(words))
+		for v := int32(0); v < n; v++ {
+			row := ctx.adj[int64(v)*int64(words):]
+			for _, w := range ctx.comp.Neighbors(v) {
+				row[w/64] |= 1 << uint(w%64)
+			}
+		}
+	}
+
+	// Root candidates: the whole component in CalColorOD order.
+	c := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		c[i] = i
+	}
+	sortByRank(c, ctx.rank)
+	var cnt [2]int32
+	ctx.branch(nil, c, cnt)
+}
+
+func (ctx *compCtx) adjacent(u, v int32) bool {
+	if ctx.adjBits > 0 {
+		return ctx.adj[int64(u)*int64(ctx.adjBits)+int64(v/64)]&(1<<uint(v%64)) != 0
+	}
+	return ctx.comp.HasEdge(u, v)
+}
+
+// branch is one node of the search tree. r is the current clique (in
+// component ids), c the candidates sorted by CalColorOD rank, cnt the
+// attribute counts of r. See DESIGN.md corrections 7-9 for how this
+// realizes Algorithm 3 soundly.
+func (ctx *compCtx) branch(r, c []int32, cnt [2]int32) {
+	s := ctx.s
+	if s.aborted.Load() {
+		return
+	}
+	if n := s.nodes.Add(1); s.opt.MaxNodes > 0 && n > s.opt.MaxNodes {
+		s.aborted.Store(true)
+		return
+	}
+	// Correction 7: record R whenever it is fair.
+	if cnt[0] >= s.k && cnt[1] >= s.k && abs32(cnt[0]-cnt[1]) <= s.delta {
+		if int32(len(r)) > s.bestSize.Load() {
+			s.record(r, ctx.toWork)
+		}
+	}
+	// Size bound ubs (line 19) and the 2k feasibility floor (line 20).
+	total := int32(len(r) + len(c))
+	if total <= s.bestSize.Load() || total < 2*s.k {
+		return
+	}
+	var avail [2]int32
+	for _, v := range c {
+		avail[ctx.comp.Attr(v)]++
+	}
+	// Attribute feasibility (lines 21-23).
+	if cnt[0]+avail[0] < s.k || cnt[1]+avail[1] < s.k {
+		return
+	}
+	// Correction 9: δ-caps. Once an attribute has no candidates its
+	// count is final, capping the other side at cnt+δ.
+	for x := 0; x < 2; x++ {
+		y := 1 - x
+		if avail[x] == 0 && cnt[y] >= cnt[x]+s.delta && avail[y] > 0 {
+			// The other side is already at its cap: no candidate of y
+			// can be added, so the node is a dead end beyond recording.
+			return
+		}
+	}
+	// Expensive bounds at shallow depth (§VI: "when selecting vertices
+	// to be added to R for the first time").
+	if s.opt.UseBounds && len(r) <= s.opt.BoundDepth {
+		s.boundChecks.Add(1)
+		inst := instanceGraph(ctx.comp, r, c)
+		ub := bounds.Evaluate(inst, s.delta, s.opt.Extra)
+		if ub <= s.bestSize.Load() || ub < 2*s.k {
+			s.boundPrunes.Add(1)
+			return
+		}
+	}
+	// Correction 8: expansion sides from the count difference.
+	diff := cnt[0] - cnt[1]
+	switch {
+	case diff >= 2:
+		ctx.expand(r, c, cnt, graph.AttrA, false)
+	case diff <= -1:
+		ctx.expand(r, c, cnt, graph.AttrB, false)
+	case diff == 0:
+		ctx.expand(r, c, cnt, graph.AttrA, false)
+		if cnt[0] >= s.k {
+			ctx.expand(r, c, cnt, graph.AttrB, true) // declare side a complete
+		}
+	default: // diff == 1
+		ctx.expand(r, c, cnt, graph.AttrB, false)
+		if cnt[1] >= s.k {
+			ctx.expand(r, c, cnt, graph.AttrA, true) // declare side b complete
+		}
+	}
+}
+
+// expand branches on every candidate u of the given attribute. When
+// declare is set, the other attribute is fixed as complete: its
+// remaining candidates are dropped from the child (this is what makes
+// the count-difference state machine duplicate-free).
+func (ctx *compCtx) expand(r, c []int32, cnt [2]int32, attr graph.Attr, declare bool) {
+	for _, u := range c {
+		if ctx.s.aborted.Load() {
+			return
+		}
+		if ctx.comp.Attr(u) != attr {
+			continue
+		}
+		// Child candidates: neighbours of u, same-attribute ones only
+		// after u in the CalColorOD order (correction 1), the other
+		// attribute dropped entirely under a declaration.
+		child := make([]int32, 0, len(c))
+		for _, v := range c {
+			if v == u || !ctx.adjacent(u, v) {
+				continue
+			}
+			if ctx.comp.Attr(v) == attr {
+				if ctx.rank[v] < ctx.rank[u] {
+					continue
+				}
+			} else if declare {
+				continue
+			}
+			child = append(child, v)
+		}
+		ncnt := cnt
+		ncnt[attr]++
+		ctx.branch(append(r, u), child, ncnt)
+	}
+}
+
+// instanceGraph induces the subgraph G' of the instance (R, C).
+func instanceGraph(g *graph.Graph, r, c []int32) *graph.Graph {
+	vs := make([]int32, 0, len(r)+len(c))
+	vs = append(vs, r...)
+	vs = append(vs, c...)
+	return graph.Induce(g, vs).G
+}
+
+func sortByRank(vs []int32, rank []int32) {
+	// Insertion sort is fine at root (called once per component) but
+	// components can be large; use a simple merge sort keyed by rank.
+	if len(vs) < 2 {
+		return
+	}
+	tmp := make([]int32, len(vs))
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 16 {
+			for i := lo + 1; i < hi; i++ {
+				for j := i; j > lo && rank[vs[j]] < rank[vs[j-1]]; j-- {
+					vs[j], vs[j-1] = vs[j-1], vs[j]
+				}
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		rec(lo, mid)
+		rec(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if rank[vs[j]] < rank[vs[i]] {
+				tmp[k] = vs[j]
+				j++
+			} else {
+				tmp[k] = vs[i]
+				i++
+			}
+			k++
+		}
+		copy(tmp[k:], vs[i:mid])
+		copy(tmp[k+mid-i:hi], vs[j:hi])
+		copy(vs[lo:hi], tmp[lo:hi])
+	}
+	rec(0, len(vs))
+}
+
+func identity(n int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func mapVerts(vs, to []int32) []int32 {
+	out := make([]int32, len(vs))
+	for i, v := range vs {
+		out[i] = to[v]
+	}
+	return out
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,239 @@
+// Package enum implements the baseline the paper argues against (§I):
+// finding the maximum relative fair clique by enumerating cliques. It
+// provides a Bron–Kerbosch maximal-clique enumerator with pivoting and
+// derives the maximum fair clique from it, plus an exponential
+// subset-enumeration oracle for very small graphs.
+//
+// The key observation making the Bron–Kerbosch route exact: every
+// clique satisfying the fairness counts lies inside some maximal clique
+// M, and conversely from any maximal clique with attribute counts
+// (na, nb), na >= k, nb >= k, one can carve a fair sub-clique of size
+// fairCap(na, nb) = min(na, nb+δ) + min(nb, na+δ) by dropping surplus
+// vertices of the majority attribute (any subset of a clique is a
+// clique). The maximum over maximal cliques is therefore the global
+// optimum. This also serves as an independent implementation against
+// which the branch-and-bound search is validated.
+package enum
+
+import (
+	"math/bits"
+
+	"fairclique/internal/graph"
+)
+
+// MaximalCliques enumerates all maximal cliques of g using
+// Bron–Kerbosch with greedy pivoting, invoking fn for each. fn must not
+// retain the slice; return false to stop the enumeration early.
+func MaximalCliques(g *graph.Graph, fn func(clique []int32) bool) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	p := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		p[i] = i
+	}
+	var r []int32
+	bk(g, r, p, nil, fn, new(bool))
+}
+
+// bk is the recursive Bron–Kerbosch step. stop is shared so an early
+// exit from fn unwinds the whole recursion.
+func bk(g *graph.Graph, r, p, x []int32, fn func([]int32) bool, stop *bool) {
+	if *stop {
+		return
+	}
+	if len(p) == 0 && len(x) == 0 {
+		if !fn(r) {
+			*stop = true
+		}
+		return
+	}
+	// Pivot: the vertex of P ∪ X with most neighbours in P minimizes
+	// the branching set P \ N(pivot).
+	pivot := int32(-1)
+	best := -1
+	for _, cand := range [][]int32{p, x} {
+		for _, u := range cand {
+			cnt := 0
+			for _, v := range p {
+				if g.HasEdge(u, v) {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best = cnt
+				pivot = u
+			}
+		}
+	}
+	var branch []int32
+	for _, v := range p {
+		if !g.HasEdge(pivot, v) {
+			branch = append(branch, v)
+		}
+	}
+	for _, v := range branch {
+		var np, nx []int32
+		for _, w := range p {
+			if g.HasEdge(v, w) {
+				np = append(np, w)
+			}
+		}
+		for _, w := range x {
+			if g.HasEdge(v, w) {
+				nx = append(nx, w)
+			}
+		}
+		bk(g, append(r, v), np, nx, fn, stop)
+		if *stop {
+			return
+		}
+		// Move v from P to X.
+		for i, w := range p {
+			if w == v {
+				p = append(p[:i], p[i+1:]...)
+				break
+			}
+		}
+		x = append(x, v)
+	}
+}
+
+// CountMaximalCliques returns the number of maximal cliques of g.
+func CountMaximalCliques(g *graph.Graph) int {
+	count := 0
+	MaximalCliques(g, func([]int32) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// MaxClique returns one maximum clique of g (no fairness constraints).
+func MaxClique(g *graph.Graph) []int32 {
+	var best []int32
+	MaximalCliques(g, func(c []int32) bool {
+		if len(c) > len(best) {
+			best = append(best[:0], c...)
+		}
+		return true
+	})
+	return best
+}
+
+// fairCap returns the size of the best fair sub-multiset of attribute
+// counts (na, nb) under (k, delta), and whether any exists.
+func fairCap(na, nb, k, delta int) (int, bool) {
+	if na < k || nb < k {
+		return 0, false
+	}
+	ca := min(na, nb+delta)
+	cb := min(nb, na+delta)
+	return ca + cb, true
+}
+
+// MaxFairClique returns a maximum relative fair clique of g for the
+// given (k, delta), or nil if none exists. This is the enumeration
+// baseline: exponential in the worst case but exact.
+func MaxFairClique(g *graph.Graph, k, delta int) []int32 {
+	var bestM []int32
+	bestSize := 0
+	MaximalCliques(g, func(c []int32) bool {
+		na, nb := g.CountAttrs(c)
+		if cap_, ok := fairCap(na, nb, k, delta); ok && cap_ > bestSize {
+			bestSize = cap_
+			bestM = append(bestM[:0], c...)
+		}
+		return true
+	})
+	if bestM == nil {
+		return nil
+	}
+	return carveFair(g, bestM, k, delta)
+}
+
+// carveFair selects a fair sub-clique of maximal clique m realizing
+// fairCap: all of the minority attribute (up to the δ window), and the
+// majority trimmed to balance.
+func carveFair(g *graph.Graph, m []int32, k, delta int) []int32 {
+	na, nb := g.CountAttrs(m)
+	wantA := min(na, nb+delta)
+	wantB := min(nb, na+delta)
+	out := make([]int32, 0, wantA+wantB)
+	gotA, gotB := 0, 0
+	for _, v := range m {
+		if g.Attr(v) == graph.AttrA {
+			if gotA < wantA {
+				out = append(out, v)
+				gotA++
+			}
+		} else if gotB < wantB {
+			out = append(out, v)
+			gotB++
+		}
+	}
+	return out
+}
+
+// BruteForceMaxFair enumerates every vertex subset of g (n <= 24) and
+// returns a maximum fair clique, or nil. It is the ground-truth oracle
+// used by tests of both this package and the branch-and-bound search.
+func BruteForceMaxFair(g *graph.Graph, k, delta int) []int32 {
+	n := int(g.N())
+	if n > 24 {
+		panic("enum: BruteForceMaxFair limited to 24 vertices")
+	}
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			adj[v] |= 1 << uint(w)
+		}
+	}
+	var bestMask uint32
+	bestSize := 0
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		size := bits.OnesCount32(mask)
+		if size <= bestSize || size < 2*k {
+			continue
+		}
+		na := 0
+		ok := true
+		for m := mask; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &^= 1 << uint(v)
+			if adj[v]&mask != mask&^(1<<uint(v)) {
+				ok = false
+				break
+			}
+			if g.Attr(int32(v)) == graph.AttrA {
+				na++
+			}
+		}
+		if !ok {
+			continue
+		}
+		nb := size - na
+		if na < k || nb < k || na-nb > delta || nb-na > delta {
+			continue
+		}
+		bestMask, bestSize = mask, size
+	}
+	if bestSize == 0 {
+		return nil
+	}
+	out := make([]int32, 0, bestSize)
+	for m := bestMask; m != 0; {
+		v := bits.TrailingZeros32(m)
+		m &^= 1 << uint(v)
+		out = append(out, int32(v))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

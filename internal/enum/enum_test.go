@@ -1,0 +1,261 @@
+package enum
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+func random(seed uint64, n int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func complete(n, na int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := na; v < n; v++ {
+		b.SetAttr(int32(v), graph.AttrB)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+func TestMaximalCliquesComplete(t *testing.T) {
+	g := complete(6, 3)
+	count := 0
+	MaximalCliques(g, func(c []int32) bool {
+		count++
+		if len(c) != 6 {
+			t.Fatalf("maximal clique of K6 has size %d", len(c))
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("K6 has %d maximal cliques; want 1", count)
+	}
+}
+
+func TestMaximalCliquesPath(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for v := 0; v < 4; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	g := b.Build()
+	if got := CountMaximalCliques(g); got != 4 {
+		t.Fatalf("path P5 has %d maximal cliques; want 4 (edges)", got)
+	}
+}
+
+func TestMaximalCliquesTrianglePlusEdge(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	var sizes []int
+	MaximalCliques(g, func(c []int32) bool {
+		sizes = append(sizes, len(c))
+		return true
+	})
+	sort.Ints(sizes)
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 3 {
+		t.Fatalf("maximal clique sizes %v; want [2 3]", sizes)
+	}
+}
+
+func TestMaximalCliquesEarlyStop(t *testing.T) {
+	b := graph.NewBuilder(6)
+	// Three disjoint edges: three maximal cliques.
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	count := 0
+	MaximalCliques(g, func([]int32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop after %d cliques; want 2", count)
+	}
+}
+
+func TestMaximalCliquesEmpty(t *testing.T) {
+	MaximalCliques(graph.NewBuilder(0).Build(), func([]int32) bool {
+		t.Fatal("empty graph should enumerate nothing")
+		return false
+	})
+}
+
+// Moon–Moser graph K_{3x3}: complete 3-partite with parts of size 3 has
+// 3^3 = 27 maximal cliques.
+func TestMaximalCliquesMoonMoser(t *testing.T) {
+	b := graph.NewBuilder(9)
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			if u/3 != v/3 {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	if got := CountMaximalCliques(b.Build()); got != 27 {
+		t.Fatalf("Moon-Moser count %d; want 27", got)
+	}
+}
+
+func TestMaxClique(t *testing.T) {
+	g := complete(5, 2)
+	if got := MaxClique(g); len(got) != 5 {
+		t.Fatalf("max clique size %d; want 5", len(got))
+	}
+	if got := MaxClique(graph.NewBuilder(3).Build()); len(got) != 1 {
+		t.Fatalf("edgeless max clique %v; want single vertex", got)
+	}
+}
+
+func TestFairCap(t *testing.T) {
+	cases := []struct {
+		na, nb, k, delta, want int
+		ok                     bool
+	}{
+		{5, 5, 3, 1, 10, true},
+		{5, 3, 3, 1, 7, true},  // a trimmed to 4
+		{5, 3, 3, 0, 6, true},  // both 3
+		{2, 5, 3, 1, 0, false}, // na < k
+		{8, 3, 3, 2, 8, true},  // 5 + 3
+		{3, 3, 3, 5, 6, true},
+	}
+	for _, tc := range cases {
+		got, ok := fairCap(tc.na, tc.nb, tc.k, tc.delta)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("fairCap(%d,%d,%d,%d) = %d,%v; want %d,%v",
+				tc.na, tc.nb, tc.k, tc.delta, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestMaxFairCliqueOnSkewedClique(t *testing.T) {
+	// K8 with 6 a's and 2 b's, k=2, δ=1: best is 3 a's + 2 b's = 5.
+	g := complete(8, 6)
+	got := MaxFairClique(g, 2, 1)
+	if len(got) != 5 {
+		t.Fatalf("size %d; want 5", len(got))
+	}
+	if !g.IsFairClique(got, 2, 1) {
+		t.Fatalf("result %v is not a (2,1)-fair clique", got)
+	}
+}
+
+func TestMaxFairCliqueNoSolution(t *testing.T) {
+	g := complete(4, 4) // all a's: no b vertices at all
+	if got := MaxFairClique(g, 1, 2); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}
+
+func TestBruteForceMaxFairBasics(t *testing.T) {
+	g := complete(6, 3)
+	got := BruteForceMaxFair(g, 3, 0)
+	if len(got) != 6 {
+		t.Fatalf("brute size %d; want 6", len(got))
+	}
+	if BruteForceMaxFair(g, 4, 0) != nil {
+		t.Fatal("k=4 should be infeasible in balanced K6")
+	}
+}
+
+func TestBruteForcePanicsOnLargeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for n > 24")
+		}
+	}()
+	BruteForceMaxFair(complete(25, 12), 1, 1)
+}
+
+// The Bron–Kerbosch route must agree with subset enumeration on random
+// graphs across (k, δ) settings — both in feasibility and optimum size.
+func TestMaxFairCliqueMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, n8, p8, k8, d8 uint8) bool {
+		n := int(n8%13) + 2
+		p := 0.25 + float64(p8%65)/100
+		k := int(k8%3) + 1
+		delta := int(d8 % 4)
+		g := random(seed, n, p)
+		fast := MaxFairClique(g, k, delta)
+		brute := BruteForceMaxFair(g, k, delta)
+		if (fast == nil) != (brute == nil) {
+			return false
+		}
+		if fast == nil {
+			return true
+		}
+		if len(fast) != len(brute) {
+			return false
+		}
+		return g.IsFairClique(fast, k, delta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every maximal clique reported must actually be a maximal clique.
+func TestMaximalCliquesAreMaximal(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := random(seed, 20, 0.4)
+		MaximalCliques(g, func(c []int32) bool {
+			if !g.IsClique(c) {
+				t.Fatalf("seed %d: %v is not a clique", seed, c)
+			}
+			in := map[int32]bool{}
+			for _, v := range c {
+				in[v] = true
+			}
+			for v := int32(0); v < g.N(); v++ {
+				if in[v] {
+					continue
+				}
+				extends := true
+				for _, u := range c {
+					if !g.HasEdge(u, v) {
+						extends = false
+						break
+					}
+				}
+				if extends {
+					t.Fatalf("seed %d: clique %v extends by %d", seed, c, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func BenchmarkMaximalCliques(b *testing.B) {
+	g := random(1, 60, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountMaximalCliques(g)
+	}
+}

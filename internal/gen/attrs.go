@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+// AssignUniform reassigns attributes uniformly at random with
+// probability pA of AttrA — the paper's treatment of its five
+// non-attributed datasets ("randomly assigning attributes to vertices
+// with approximately equal probability"). Returns a new graph.
+func AssignUniform(seed uint64, g *graph.Graph, pA float64) *graph.Graph {
+	r := rng.New(seed)
+	return reattr(g, func(v int32) graph.Attr {
+		if r.Bool(pA) {
+			return graph.AttrA
+		}
+		return graph.AttrB
+	})
+}
+
+// AssignByCommunity assigns attributes with community-correlated bias:
+// vertices of even communities draw AttrA with probability pMajor,
+// odd communities with 1-pMajor. This imitates real demographic
+// attributes (the Aminer gender attribute), which cluster socially.
+func AssignByCommunity(seed uint64, g *graph.Graph, community []int, pMajor float64) *graph.Graph {
+	r := rng.New(seed)
+	return reattr(g, func(v int32) graph.Attr {
+		p := pMajor
+		if community[v]%2 == 1 {
+			p = 1 - pMajor
+		}
+		if r.Bool(p) {
+			return graph.AttrA
+		}
+		return graph.AttrB
+	})
+}
+
+// AssignByDegree labels the top fraction of vertices by degree as
+// AttrA ("senior") and the rest AttrB ("junior"), as in the IMDB case
+// study's senior/junior artist split.
+func AssignByDegree(g *graph.Graph, topFraction float64) *graph.Graph {
+	n := int(g.N())
+	cut := int(float64(n) * topFraction)
+	// Order vertices by degree descending (stable by id).
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Counting sort by degree.
+	maxDeg := int(g.MaxDegree())
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		d := int(g.Deg(int32(v)))
+		buckets[d] = append(buckets[d], int32(v))
+	}
+	idx := 0
+	for d := maxDeg; d >= 0; d-- {
+		for _, v := range buckets[d] {
+			order[idx] = v
+			idx++
+		}
+	}
+	senior := make([]bool, n)
+	for i := 0; i < cut && i < n; i++ {
+		senior[order[i]] = true
+	}
+	return reattr(g, func(v int32) graph.Attr {
+		if senior[v] {
+			return graph.AttrA
+		}
+		return graph.AttrB
+	})
+}
+
+// reattr rebuilds g with new attributes from f.
+func reattr(g *graph.Graph, f func(v int32) graph.Attr) *graph.Graph {
+	b := graph.NewBuilder(int(g.N()))
+	for v := int32(0); v < g.N(); v++ {
+		b.SetAttr(v, f(v))
+	}
+	for e := int32(0); e < g.M(); e++ {
+		u, v := g.Edge(e)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}

@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+// CaseStudy is a small labelled domain graph mirroring one of the four
+// case studies of Fig. 10. Vertex names are synthetic (the real rosters
+// are not available offline); structure and query parameters match the
+// paper: k=5, δ=3, with a planted dense fair community whose attribute
+// split copies the published result.
+type CaseStudy struct {
+	// Name identifies the study ("aminer", "dbai", "nba", "imdb").
+	Name string
+	// Graph is the attributed graph.
+	Graph *graph.Graph
+	// Labels names every vertex.
+	Labels []string
+	// AttrNames names the two attribute values (a, b).
+	AttrNames [2]string
+	// K and Delta are the query parameters (5 and 3 in the paper).
+	K, Delta int
+	// WantA and WantB are the attribute counts of the paper's reported
+	// maximum fair clique (e.g. 13 males / 16 females on Aminer).
+	WantA, WantB int
+}
+
+// caseSpec drives buildCase.
+type caseSpec struct {
+	name      string
+	attrNames [2]string
+	prefixA   string
+	prefixB   string
+	n         int
+	teams     int
+	meanTeam  float64
+	seed      uint64
+	wantA     int
+	wantB     int
+}
+
+// buildCase generates background collaboration structure, plants the
+// headline fair community, and names everything.
+func buildCase(sp caseSpec) *CaseStudy {
+	g := TeamGraph(sp.seed, sp.n, sp.teams, sp.meanTeam)
+	g = AssignUniform(sp.seed+1, g, 0.5)
+	g, _ = PlantFairClique(sp.seed+2, g, sp.wantA, sp.wantB)
+	labels := make([]string, sp.n)
+	for v := 0; v < sp.n; v++ {
+		prefix := sp.prefixA
+		if g.Attr(int32(v)) == graph.AttrB {
+			prefix = sp.prefixB
+		}
+		labels[v] = fmt.Sprintf("%s-%03d", prefix, v)
+	}
+	return &CaseStudy{
+		Name:      sp.name,
+		Graph:     g,
+		Labels:    labels,
+		AttrNames: sp.attrNames,
+		K:         5,
+		Delta:     3,
+		WantA:     sp.wantA,
+		WantB:     sp.wantB,
+	}
+}
+
+// CaseStudies returns the four Fig. 10 stand-ins.
+func CaseStudies() []*CaseStudy {
+	return []*CaseStudy{
+		// Aminer: 13 males + 16 females from an HCI collaboration.
+		buildCase(caseSpec{
+			name: "aminer", attrNames: [2]string{"male", "female"},
+			prefixA: "Scholar-M", prefixB: "Scholar-F",
+			n: 800, teams: 700, meanTeam: 3.5, seed: 9001,
+			wantA: 13, wantB: 16,
+		}),
+		// DBAI: 9 database + 11 AI researchers.
+		buildCase(caseSpec{
+			name: "dbai", attrNames: [2]string{"DB", "AI"},
+			prefixA: "Author-DB", prefixB: "Author-AI",
+			n: 1000, teams: 900, meanTeam: 3.8, seed: 9101,
+			wantA: 9, wantB: 11,
+		}),
+		// NBA: 7 U.S. + 5 overseas players.
+		buildCase(caseSpec{
+			name: "nba", attrNames: [2]string{"US", "Oversea"},
+			prefixA: "Player-US", prefixB: "Player-OS",
+			n: 400, teams: 500, meanTeam: 4.5, seed: 9201,
+			wantA: 7, wantB: 5,
+		}),
+		// IMDB: 6 senior + 4 junior artists around one production.
+		buildCase(caseSpec{
+			name: "imdb", attrNames: [2]string{"senior", "junior"},
+			prefixA: "Artist-S", prefixB: "Artist-J",
+			n: 1200, teams: 1000, meanTeam: 4.0, seed: 9301,
+			wantA: 6, wantB: 4,
+		}),
+	}
+}
+
+// CaseStudyByName returns the named case study.
+func CaseStudyByName(name string) (*CaseStudy, error) {
+	for _, cs := range CaseStudies() {
+		if cs.Name == name {
+			return cs, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: unknown case study %q", name)
+}
+
+// newLocalRNG isolates datasets.go from importing rng directly twice.
+func newLocalRNG(seed uint64) *rng.RNG { return rng.New(seed) }

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"fmt"
+
+	"fairclique/internal/graph"
+)
+
+// Dataset is a named, deterministic stand-in for one of the paper's
+// six evaluation graphs (Table I), with the per-dataset parameter
+// ranges used by the experiment sweeps (§VI-A "Parameters").
+type Dataset struct {
+	// Name identifies the stand-in (e.g. "themarker-sim").
+	Name string
+	// Description records what it imitates.
+	Description string
+	// Ks are the five k values the paper sweeps for this dataset.
+	Ks []int
+	// DefaultK and DefaultDelta are the paper's default parameters.
+	DefaultK, DefaultDelta int
+	// MaxFairSize is the size of the largest planted fair clique (the
+	// designed MRFC at generous parameters), mirroring Fig. 8.
+	MaxFairSize int
+	// build constructs the graph at the given scale (1.0 = default).
+	build func(scale float64) *graph.Graph
+}
+
+// Build materializes the dataset at the given scale factor (vertex and
+// team counts are multiplied by scale; 1.0 is the default laptop-scale
+// size). The result is identical for identical (name, scale).
+func (d *Dataset) Build(scale float64) *graph.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	return d.build(scale)
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 50 {
+		n = 50
+	}
+	return n
+}
+
+// plantSuite overlays a family of fair cliques: one of the designed
+// maximum size (na, nb) and a few smaller decoys, mirroring the clique
+// structure the paper's graphs expose in Fig. 8.
+func plantSuite(seed uint64, g *graph.Graph, na, nb int) *graph.Graph {
+	out, _ := PlantFairClique(seed, g, na, nb)
+	// Decoys at 70% and 50% of the main plant.
+	out, _ = PlantFairClique(seed+1, out, na*7/10, nb*7/10)
+	out, _ = PlantFairClique(seed+2, out, na/2, nb/2)
+	return out
+}
+
+// Datasets returns the six stand-ins in the paper's Table I order.
+func Datasets() []*Dataset {
+	return []*Dataset{
+		{
+			Name:        "themarker-sim",
+			Description: "dense power-law social network (Themarker)",
+			Ks:          []int{2, 3, 4, 5, 6},
+			DefaultK:    6, DefaultDelta: 3,
+			MaxFairSize: 27,
+			build: func(s float64) *graph.Graph {
+				g := BarabasiAlbert(101, scaled(2500, s), 16)
+				g = AssignUniform(102, g, 0.5)
+				return plantSuite(103, g, 14, 13)
+			},
+		},
+		{
+			Name:        "google-sim",
+			Description: "clustered web graph (Google)",
+			Ks:          []int{5, 6, 7, 8, 9},
+			DefaultK:    7, DefaultDelta: 4,
+			MaxFairSize: 31,
+			build: func(s float64) *graph.Graph {
+				nBlocks := scaled(80, s)
+				sizes := make([]int, nBlocks)
+				for i := range sizes {
+					sizes[i] = 40
+				}
+				g := SBM(201, sizes, 0.10, 0.0006)
+				g = AssignUniform(202, g, 0.5)
+				return plantSuite(203, g, 16, 15)
+			},
+		},
+		{
+			Name:        "dblp-sim",
+			Description: "co-authorship team graph (DBLP)",
+			Ks:          []int{5, 6, 7, 8, 9},
+			DefaultK:    7, DefaultDelta: 4,
+			MaxFairSize: 18,
+			build: func(s float64) *graph.Graph {
+				g := TeamGraph(301, scaled(6000, s), scaled(4200, s), 4.2)
+				g = AssignUniform(302, g, 0.5)
+				return plantSuite(303, g, 9, 9)
+			},
+		},
+		{
+			Name:        "flixster-sim",
+			Description: "sparse power-law social network (Flixster)",
+			Ks:          []int{2, 3, 4, 5, 6},
+			DefaultK:    3, DefaultDelta: 3,
+			MaxFairSize: 38,
+			build: func(s float64) *graph.Graph {
+				g := BarabasiAlbert(401, scaled(5000, s), 6)
+				g = AssignUniform(402, g, 0.5)
+				return plantSuite(403, g, 19, 19)
+			},
+		},
+		{
+			Name:        "pokec-sim",
+			Description: "very dense power-law social network (Pokec)",
+			Ks:          []int{3, 4, 5, 6, 7},
+			DefaultK:    4, DefaultDelta: 4,
+			MaxFairSize: 28,
+			build: func(s float64) *graph.Graph {
+				g := BarabasiAlbert(501, scaled(3000, s), 20)
+				g = AssignUniform(502, g, 0.5)
+				return plantSuite(503, g, 14, 14)
+			},
+		},
+		{
+			Name:        "aminer-sim",
+			Description: "co-authorship graph with correlated (real-style) gender attribute (Aminer)",
+			Ks:          []int{4, 5, 6, 7, 8},
+			DefaultK:    6, DefaultDelta: 4,
+			MaxFairSize: 30,
+			build: func(s float64) *graph.Graph {
+				n := scaled(3500, s)
+				g := LocalTeamGraph(601, n, scaled(3000, s), 3.6, n/60+2)
+				// Correlated attribute: id-blocks are the team locality
+				// regions, so the assignment clusters like a real
+				// demographic attribute.
+				blockSize := n/50 + 1
+				community := make([]int, n)
+				for v := range community {
+					community[v] = v / blockSize
+				}
+				g = AssignByCommunity(602, g, community, 0.72)
+				return plantSuite(603, g, 15, 15)
+			},
+		},
+	}
+}
+
+// DatasetByName returns the stand-in with the given name.
+func DatasetByName(name string) (*Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// LocalTeamGraph is TeamGraph with locality: each team is drawn around
+// a random center with bounded spread, so vertex-id blocks behave like
+// research communities. Used by the aminer-sim stand-in so that a
+// community-correlated attribute assignment is structurally meaningful.
+func LocalTeamGraph(seed uint64, n, nTeams int, meanTeam float64, spread int) *graph.Graph {
+	r := newLocalRNG(seed)
+	b := graph.NewBuilder(n)
+	if meanTeam < 2 {
+		meanTeam = 2
+	}
+	p := 1 / (meanTeam - 1)
+	if p >= 1 {
+		p = 0.99
+	}
+	if spread < 1 {
+		spread = 1
+	}
+	for t := 0; t < nTeams; t++ {
+		size := 2 + r.Geometric(p)
+		if size > 12 {
+			size = 12
+		}
+		center := r.Intn(n)
+		team := map[int32]bool{}
+		for attempts := 0; len(team) < size && attempts < 20*size; attempts++ {
+			off := r.Intn(2*spread+1) - spread
+			v := center + off
+			if v < 0 || v >= n {
+				continue
+			}
+			team[int32(v)] = true
+		}
+		members := make([]int32, 0, len(team))
+		for v := range team {
+			members = append(members, v)
+		}
+		insertionSortInt32(members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b.AddEdge(members[i], members[j])
+			}
+		}
+	}
+	return b.Build()
+}

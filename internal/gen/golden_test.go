@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"fairclique/internal/graph"
+)
+
+// graphDigest hashes the full structure (attributes + canonical edge
+// list) of a graph.
+func graphDigest(g *graph.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(g.N()))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(g.M()))
+	h.Write(buf[:])
+	for v := int32(0); v < g.N(); v++ {
+		h.Write([]byte{byte(g.Attr(v))})
+	}
+	for e := int32(0); e < g.M(); e++ {
+		u, v := g.Edge(e)
+		binary.LittleEndian.PutUint32(buf[:4], uint32(u))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Golden digests pin the exact dataset bytes that EXPERIMENTS.md was
+// measured on. If a generator change is intentional, re-run
+// `go test -run TestDatasetGoldenDigests -v` to print the new digests,
+// update this table, and regenerate EXPERIMENTS.md.
+var goldenDigests = map[string]string{
+	"themarker-sim": "ff68a844e32716ac",
+	"google-sim":    "9ba694edbd83b7b4",
+	"dblp-sim":      "8c63bcbdc58b69ef",
+	"flixster-sim":  "49aeb65798a637cd",
+	"pokec-sim":     "6b34dbb4fd69095d",
+	"aminer-sim":    "0582c7d6bf780e30",
+}
+
+// TestDatasetGoldenDigests verifies (and on first run prints) the
+// structure digests of every dataset at the scale used by unit tests.
+func TestDatasetGoldenDigests(t *testing.T) {
+	for _, d := range Datasets() {
+		g := d.Build(0.1)
+		got := graphDigest(g)
+		want, ok := goldenDigests[d.Name]
+		if !ok {
+			t.Logf("golden digest %q: %q,", d.Name, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: digest %s; golden %s — generator output changed, "+
+				"EXPERIMENTS.md numbers are stale", d.Name, got, want)
+		}
+	}
+	if len(goldenDigests) == 0 {
+		t.Skip("golden table not yet pinned; digests logged above")
+	}
+}
+
+// Case-study graphs must be byte-identical across builds too (the
+// Fig. 10 members printed in EXPERIMENTS.md depend on it).
+func TestCaseStudyDeterminism(t *testing.T) {
+	a := CaseStudies()
+	b := CaseStudies()
+	for i := range a {
+		if graphDigest(a[i].Graph) != graphDigest(b[i].Graph) {
+			t.Fatalf("%s: case study not deterministic", a[i].Name)
+		}
+	}
+}

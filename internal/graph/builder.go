@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable
+// Graph. Duplicate edges and self-loops are silently dropped, so
+// generators can add edges without bookkeeping.
+type Builder struct {
+	attrs []Attr
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder pre-sized for n vertices, all AttrA.
+func NewBuilder(n int) *Builder {
+	return &Builder{attrs: make([]Attr, n)}
+}
+
+// N returns the current number of vertices.
+func (b *Builder) N() int32 { return int32(len(b.attrs)) }
+
+// AddVertex appends a vertex with the given attribute and returns its id.
+func (b *Builder) AddVertex(a Attr) int32 {
+	b.attrs = append(b.attrs, a)
+	return int32(len(b.attrs) - 1)
+}
+
+// SetAttr sets the attribute of an existing vertex.
+func (b *Builder) SetAttr(v int32, a Attr) { b.attrs[v] = a }
+
+// AddEdge records an undirected edge. Self-loops are ignored; duplicate
+// edges are removed when Build runs. Panics on out-of-range endpoints.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	n := b.N()
+	if u < 0 || v < 0 || u >= n || v >= n {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range n=%d", u, v, n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// Build produces the immutable Graph. The builder can be reused after
+// Build (its state is unchanged).
+func (b *Builder) Build() *Graph {
+	n := int(b.N())
+	// Canonicalize and dedup the edge list.
+	edges := append([][2]int32(nil), b.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges = dedup
+
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	nbrs := make([]int32, offsets[n])
+	eids := make([]int32, offsets[n])
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for e, uv := range edges {
+		u, v := uv[0], uv[1]
+		nbrs[fill[u]], eids[fill[u]] = v, int32(e)
+		fill[u]++
+		nbrs[fill[v]], eids[fill[v]] = u, int32(e)
+		fill[v]++
+	}
+	// Adjacency is already sorted: edges are sorted by (u, v), and each
+	// vertex receives neighbours in increasing order of the other
+	// endpoint only for the "u side". The "v side" receives u's in
+	// increasing order too because edges are sorted by u first. A vertex
+	// can receive interleaved u-side and v-side entries, so sort each
+	// list to be safe (cheap: lists are nearly sorted).
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		sortAdjacency(nbrs[lo:hi], eids[lo:hi])
+	}
+	g := &Graph{
+		offsets: offsets,
+		nbrs:    nbrs,
+		eids:    eids,
+		attrs:   append([]Attr(nil), b.attrs...),
+		edges:   edges,
+	}
+	return g
+}
+
+// sortAdjacency sorts a neighbour slice and its parallel edge-id slice
+// by neighbour id.
+func sortAdjacency(nbrs, eids []int32) {
+	sort.Sort(&adjSorter{nbrs, eids})
+}
+
+type adjSorter struct {
+	nbrs []int32
+	eids []int32
+}
+
+func (s *adjSorter) Len() int           { return len(s.nbrs) }
+func (s *adjSorter) Less(i, j int) bool { return s.nbrs[i] < s.nbrs[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.nbrs[i], s.nbrs[j] = s.nbrs[j], s.nbrs[i]
+	s.eids[i], s.eids[j] = s.eids[j], s.eids[i]
+}
+
+// FromEdges is a convenience constructor: n vertices with the given
+// attributes (length n) and the given undirected edges.
+func FromEdges(attrs []Attr, edges [][2]int32) *Graph {
+	b := NewBuilder(len(attrs))
+	copy(b.attrs, attrs)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,271 @@
+package heuristic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+func random(seed uint64, n int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func balancedClique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(v%2))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// plantedClique builds sparse noise around a balanced clique on the
+// first 2k vertices; the clique vertices have the highest degrees.
+func plantedClique(seed uint64, n, k int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for v := 0; v < 2*k; v++ {
+		b.SetAttr(int32(v), graph.Attr(v%2))
+	}
+	for u := 0; u < 2*k; u++ {
+		for v := u + 1; v < 2*k; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(0.05) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestDegHeurFindsBalancedClique(t *testing.T) {
+	g := balancedClique(10)
+	got := DegHeur(g, 3, 1)
+	if len(got) < 6 {
+		t.Fatalf("DegHeur found %d vertices; want >= 6", len(got))
+	}
+	if !g.IsFairClique(got, 3, 1) {
+		t.Fatalf("result %v is not a fair clique", got)
+	}
+}
+
+func TestDegHeurRespectsDelta(t *testing.T) {
+	// Skewed K9: 6 a's, 3 b's. δ=0 forces 3+3.
+	b := graph.NewBuilder(9)
+	for v := 6; v < 9; v++ {
+		b.SetAttr(int32(v), graph.AttrB)
+	}
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.Build()
+	got := DegHeur(g, 3, 0)
+	if got == nil {
+		t.Fatal("DegHeur found nothing")
+	}
+	if !g.IsFairClique(got, 3, 0) {
+		na, nb := g.CountAttrs(got)
+		t.Fatalf("unfair result: %d a's, %d b's", na, nb)
+	}
+}
+
+func TestDegHeurInfeasible(t *testing.T) {
+	// All one attribute: no fair clique exists.
+	b := graph.NewBuilder(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.Build()
+	if got := DegHeur(g, 1, 3); got != nil {
+		t.Fatalf("expected nil on single-attribute graph, got %v", got)
+	}
+}
+
+func TestDegHeurEmptyAndEdgeless(t *testing.T) {
+	if got := DegHeur(graph.NewBuilder(0).Build(), 2, 1); got != nil {
+		t.Fatal("empty graph")
+	}
+	if got := DegHeur(graph.NewBuilder(5).Build(), 1, 1); got != nil {
+		t.Fatal("edgeless graph has no fair clique for k=1 (needs 2 vertices)")
+	}
+}
+
+func TestColorfulDegHeurFindsClique(t *testing.T) {
+	g := plantedClique(3, 40, 4)
+	got := ColorfulDegHeur(g, 4, 2)
+	if got == nil {
+		t.Fatal("ColorfulDegHeur found nothing")
+	}
+	if !g.IsFairClique(got, 4, 2) {
+		t.Fatalf("result %v is not fair", got)
+	}
+	if len(got) < 8 {
+		t.Fatalf("found %d; planted clique has 8", len(got))
+	}
+}
+
+// Heuristic results are always valid fair cliques (or nil).
+func TestHeuristicsAlwaysValid(t *testing.T) {
+	f := func(seed uint64, n8, p8, k8, d8 uint8) bool {
+		n := int(n8%30) + 2
+		p := 0.2 + float64(p8%70)/100
+		k := int32(k8%3) + 1
+		delta := int32(d8 % 4)
+		g := random(seed, n, p)
+		for _, got := range [][]int32{DegHeur(g, k, delta), ColorfulDegHeur(g, k, delta)} {
+			if got != nil && !g.IsFairClique(got, int(k), int(delta)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeurRFCOnPlanted(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		k := 4
+		g := plantedClique(seed, 50, k)
+		res := HeurRFC(g, int32(k), 2)
+		if res.Clique == nil {
+			t.Fatalf("seed %d: HeurRFC found nothing", seed)
+		}
+		if !g.IsFairClique(res.Clique, k, 2) {
+			t.Fatalf("seed %d: invalid clique", seed)
+		}
+		if len(res.Clique) < 2*k {
+			t.Fatalf("seed %d: found %d; planted %d", seed, len(res.Clique), 2*k)
+		}
+		if res.UB < int32(len(res.Clique)) {
+			t.Fatalf("seed %d: UB %d below found size %d", seed, res.UB, len(res.Clique))
+		}
+	}
+}
+
+// HeurRFC's UB must dominate the true optimum (it feeds pruning).
+func TestHeurRFCUBSound(t *testing.T) {
+	f := func(seed uint64, n8, k8, d8 uint8) bool {
+		n := int(n8%14) + 2
+		k := int(k8%3) + 1
+		delta := int(d8 % 4)
+		g := random(seed, n, 0.5)
+		res := HeurRFC(g, int32(k), int32(delta))
+		truth := enum.BruteForceMaxFair(g, k, delta)
+		if res.Clique != nil && !g.IsFairClique(res.Clique, k, delta) {
+			return false
+		}
+		// Heuristic can't beat the optimum...
+		if len(res.Clique) > len(truth) {
+			return false
+		}
+		// ...and its upper bound can't undercut it.
+		return res.UB >= int32(len(truth))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeurRFCEmptyGraph(t *testing.T) {
+	res := HeurRFC(graph.NewBuilder(0).Build(), 2, 1)
+	if res.Clique != nil || res.UB != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+}
+
+// The quality experiment of Fig. 8 expects the heuristic close to the
+// optimum on clique-rich graphs; on a pure balanced clique it must be
+// exact.
+func TestHeurRFCExactOnCleanClique(t *testing.T) {
+	g := balancedClique(12)
+	res := HeurRFC(g, 3, 2)
+	if len(res.Clique) != 12 {
+		t.Fatalf("found %d of 12", len(res.Clique))
+	}
+}
+
+func BenchmarkHeurRFC(b *testing.B) {
+	g := plantedClique(1, 2000, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HeurRFC(g, 6, 2)
+	}
+}
+
+// HeurRFC when DegHeur fails but ColorfulDegHeur succeeds exercises the
+// second shrink path; a graph where the highest-degree seeds are all in
+// an unbalanced hub region forces it.
+func TestHeurRFCSecondPassImproves(t *testing.T) {
+	// Star of a's around vertex 0 (degree hub, no fair clique), plus a
+	// separate balanced K6 of lower degree.
+	b := graph.NewBuilder(40)
+	for v := int32(1); v < 30; v++ {
+		b.AddEdge(0, v) // all attribute a by default
+	}
+	for v := 30; v < 36; v++ {
+		b.SetAttr(int32(v), graph.Attr(v%2))
+	}
+	for u := 30; u < 36; u++ {
+		for v := u + 1; v < 36; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.Build()
+	res := HeurRFC(g, 3, 1)
+	if len(res.Clique) != 6 {
+		t.Fatalf("HeurRFC found %d; want the hidden K6", len(res.Clique))
+	}
+	if !g.IsFairClique(res.Clique, 3, 1) {
+		t.Fatal("invalid clique")
+	}
+}
+
+// A graph with NO vertices of one attribute exercises every nil branch.
+func TestHeurRFCAllSameAttribute(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	res := HeurRFC(b.Build(), 2, 1)
+	if res.Clique != nil {
+		t.Fatalf("no fair clique possible, got %v", res.Clique)
+	}
+	if res.UB < 0 {
+		t.Fatal("UB must be non-negative")
+	}
+}

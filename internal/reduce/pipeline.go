@@ -1,0 +1,77 @@
+package reduce
+
+import (
+	"fairclique/internal/color"
+	"fairclique/internal/colorful"
+	"fairclique/internal/graph"
+)
+
+// enhancedCore delegates to the vertex-peeling implementation.
+func enhancedCore(g *graph.Graph, col *color.Coloring, k int32) []bool {
+	return colorful.EnhancedKCore(g, col, k)
+}
+
+// StageStats records the size of the graph after one reduction stage,
+// feeding the Fig. 4 / Fig. 5 experiment.
+type StageStats struct {
+	Name     string
+	Vertices int32
+	Edges    int32
+}
+
+// Pipeline runs the full reduction chain of Algorithm 2 lines 1-3:
+// EnColorfulCore with threshold k-1 (Lemma 2), then ColorfulSup, then
+// EnColorfulSup with size constraint k (Lemmas 3-4). Every relative
+// fair clique with both attribute counts >= k survives all three
+// stages. Each stage re-induces and re-colors the shrunken graph, which
+// only sharpens the next stage.
+//
+// The returned Subgraph maps the final vertices back to g; stats holds
+// the per-stage sizes.
+func Pipeline(g *graph.Graph, k int32) (*graph.Subgraph, []StageStats) {
+	stats := make([]StageStats, 0, 3)
+
+	// Stage 1: enhanced colorful (k-1)-core.
+	col := color.Greedy(g)
+	r := EnColorfulCore(g, col, k-1)
+	sub := r.Materialize(g)
+	stats = append(stats, StageStats{"EnColorfulCore", r.VerticesLeft, r.EdgesLeft})
+
+	// Stage 2: colorful support peeling at k.
+	col = color.Greedy(sub.G)
+	r = ColorfulSup(sub.G, col, k)
+	sub2 := r.Materialize(sub.G)
+	sub2.ToParent = chain(sub.ToParent, sub2.ToParent)
+	stats = append(stats, StageStats{"ColorfulSup", r.VerticesLeft, r.EdgesLeft})
+
+	// Stage 3: enhanced colorful support peeling at k.
+	col = color.Greedy(sub2.G)
+	r = EnColorfulSup(sub2.G, col, k)
+	sub3 := r.Materialize(sub2.G)
+	sub3.ToParent = chain(sub2.ToParent, sub3.ToParent)
+	stats = append(stats, StageStats{"EnColorfulSup", r.VerticesLeft, r.EdgesLeft})
+
+	return sub3, stats
+}
+
+// chain composes two vertex mappings: outer maps an inner-subgraph id
+// to a mid-graph id, and parent maps mid ids to original ids.
+func chain(parent, outer []int32) []int32 {
+	out := make([]int32, len(outer))
+	for i, v := range outer {
+		out[i] = parent[v]
+	}
+	return out
+}
+
+// Stages runs each reduction independently on the original graph (the
+// way Fig. 4 reports them: EnColorfulCore alone, then the cumulative
+// ColorfulSup, then cumulative EnColorfulSup) and returns the stage
+// sizes. Matches the experiment semantics: each successive technique is
+// applied on top of the previous ones, as in the paper's example
+// ("sequentially applying EnColorfulCore, ColorfulSup and
+// EnColorfulSup leaves ... vertices").
+func Stages(g *graph.Graph, k int32) []StageStats {
+	_, stats := Pipeline(g, k)
+	return stats
+}

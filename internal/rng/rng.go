@@ -1,0 +1,167 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used by the synthetic dataset generators and the benchmark
+// harness. Determinism matters here: every experiment in EXPERIMENTS.md
+// must be exactly reproducible from a seed, independent of Go version
+// and platform, which rules out math/rand's unspecified stream.
+//
+// The generator is xoshiro256** seeded via splitmix64, following the
+// reference implementations by Blackman and Vigna.
+package rng
+
+// RNG is a deterministic xoshiro256** generator. The zero value is not
+// valid; use New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64,
+// so that nearby seeds still produce uncorrelated streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's unbiased
+// multiply-shift rejection method.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleInt32s shuffles the slice in place (Fisher–Yates).
+func (r *RNG) ShuffleInt32s(p []int32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Geometric returns a sample from the geometric distribution with
+// success probability p (number of failures before the first success,
+// so the support starts at 0). Used for skewed team-size draws.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		panic("rng: Geometric needs p in (0,1)")
+	}
+	n := 0
+	for !r.Bool(p) {
+		n++
+		if n > 1<<20 { // safety against pathological p
+			break
+		}
+	}
+	return n
+}
+
+// Sample returns c distinct integers drawn uniformly from [0, n) in
+// increasing order. It panics if c > n. Uses Floyd's algorithm so the
+// cost is O(c) expected regardless of n.
+func (r *RNG) Sample(n, c int) []int {
+	if c > n {
+		panic("rng: Sample with c > n")
+	}
+	seen := make(map[int]struct{}, c)
+	out := make([]int, 0, c)
+	for j := n - c; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := seen[t]; ok {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Insertion sort: c is small in all call sites.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package fairclique
+
+import (
+	"testing"
+	"time"
+
+	"fairclique/internal/core"
+	"fairclique/internal/gen"
+)
+
+// TestLargeScaleSmoke runs the full stack on a ~500k-edge power-law
+// graph with a planted fair community — the "large networks" claim at
+// the biggest size that still fits a unit-test budget. Skipped in
+// -short mode.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke in -short mode")
+	}
+	start := time.Now()
+	g := gen.BarabasiAlbert(777, 50_000, 10)
+	g = gen.AssignUniform(778, g, 0.5)
+	g, planted := gen.PlantFairClique(779, g, 12, 12)
+	t.Logf("built %d vertices / %d edges in %v", g.N(), g.M(), time.Since(start))
+
+	start = time.Now()
+	res, err := core.MaxRFC(g, core.Options{
+		K: 10, Delta: 2,
+		UseBounds: true, Extra: UBColorfulDegeneracy, UseHeuristic: true,
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("search: size %d in %v (reduced to %d vertices / %d edges, %d nodes)",
+		res.Size(), elapsed, res.Stats.ReducedVertices, res.Stats.ReducedEdges, res.Stats.Nodes)
+	if res.Size() < len(planted) {
+		t.Fatalf("found %d; planted fair clique has %d", res.Size(), len(planted))
+	}
+	if !g.IsFairClique(res.Clique, 10, 2) {
+		t.Fatal("result invalid")
+	}
+	if elapsed > 2*time.Minute {
+		t.Fatalf("search took %v; the reduction pipeline is not doing its job", elapsed)
+	}
+}

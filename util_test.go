@@ -1,0 +1,8 @@
+package fairclique
+
+import "os"
+
+// writeFile is a tiny test helper kept out of the main test file.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
