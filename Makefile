@@ -1,0 +1,28 @@
+# Developer entry points. The repo is plain `go build ./...`-able; the
+# targets below bundle the verification and benchmarking recipes.
+
+GO ?= go
+
+.PHONY: build test race bench bench-full
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine's parallel paths under the race detector.
+race:
+	$(GO) test -race ./internal/core ./internal/bounds
+
+# Regenerate BENCH_core.json: nodes/sec, allocs/node and the Workers
+# 1-vs-4 wall-clock comparison of the branch-and-bound engine on a
+# single-giant-component graph. Future engine PRs compare against the
+# committed record.
+bench:
+	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
+	@cat BENCH_core.json
+
+# The full paper-evaluation suite (slow; writes Markdown to stdout).
+bench-full:
+	$(GO) run ./cmd/benchmark -exp all -scale 0.5

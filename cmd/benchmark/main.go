@@ -10,7 +10,10 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all.
+// casestudies, ablation, all. The extra experiment "core" benchmarks
+// the branch-and-bound engine itself (Workers 1 vs 4 on a
+// single-giant-component graph) and always emits JSON — `make bench`
+// uses it to regenerate BENCH_core.json, the repo's perf trajectory.
 package main
 
 import (
@@ -45,6 +48,16 @@ func main() {
 	cfg := bench.Config{Scale: *scale, Out: w, MaxNodes: *maxNodes}
 
 	start := time.Now()
+	if *exp == "core" {
+		// The engine benchmark is JSON-only regardless of -format: it is
+		// a machine-readable perf record, not a paper table.
+		if err := bench.WriteCoreBench(cfg, w); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: core engine bench finished in %v\n", time.Since(start))
+		return
+	}
 	switch *format {
 	case "json":
 		if err := bench.WriteJSON(cfg, w); err != nil {

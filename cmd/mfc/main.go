@@ -42,6 +42,7 @@ func main() {
 		reduceOnly = flag.Bool("reduce", false, "run only the reduction pipeline and report sizes")
 		enumerate  = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
 		maxNodes   = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
+		workers    = flag.Int("workers", 1, "parallel branching workers (root branches are split inside each component)")
 		quiet      = flag.Bool("q", false, "print only the clique size")
 	)
 	flag.Parse()
@@ -103,6 +104,7 @@ func main() {
 		DisableHeuristic: *noHeur,
 		DisableReduction: *noReduce,
 		MaxNodes:         *maxNodes,
+		Workers:          *workers,
 	}
 	start := time.Now()
 	res, err := fairclique.Find(g, opt)

@@ -205,9 +205,12 @@ type Options struct {
 	// result is then a (possibly sub-optimal) fair clique with
 	// Result.Exact == false.
 	MaxNodes int64
-	// Workers searches connected components concurrently when > 1. The
-	// optimum size stays exact; with several equally-sized optima the
-	// returned vertex set may vary between runs.
+	// Workers branches concurrently when > 1. Parallelism is
+	// intra-component — the root branches of each connected component
+	// are split across workers — so it helps even when the reduced
+	// graph is a single giant component. The optimum size stays exact;
+	// with several equally-sized optima the returned vertex set may
+	// vary between runs.
 	Workers int
 }
 

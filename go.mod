@@ -1,0 +1,3 @@
+module fairclique
+
+go 1.24.0

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"fairclique/internal/core"
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+// CoreBenchGraph describes the benchmark instance of the core engine
+// benchmark: a dense random graph that is one giant connected
+// component, the worst case for component-level parallelism and
+// therefore the case the intra-component root split must win on.
+type CoreBenchGraph struct {
+	Name     string `json:"name"`
+	Vertices int32  `json:"vertices"`
+	Edges    int32  `json:"edges"`
+}
+
+// CoreBenchRun is one measured engine configuration.
+type CoreBenchRun struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	Nodes         int64   `json:"nodes"`
+	NodesPerSec   float64 `json:"nodes_per_sec"`
+	AllocsPerNode float64 `json:"allocs_per_node"`
+	BestSize      int     `json:"best_size"`
+}
+
+// CoreBenchResult is the perf-trajectory record emitted as
+// BENCH_core.json (make bench), so future engine changes have a
+// baseline to compare against.
+type CoreBenchResult struct {
+	Graph           CoreBenchGraph `json:"graph"`
+	GOMAXPROCS      int            `json:"gomaxprocs"`
+	NumCPU          int            `json:"num_cpu"`
+	Runs            []CoreBenchRun `json:"runs"`
+	SpeedupW4OverW1 float64        `json:"speedup_w4_over_w1"`
+}
+
+// coreBenchInstance builds the deterministic single-giant-component
+// instance: G(n, p) at this density is connected with overwhelming
+// probability; the builder retries denser until it is.
+func coreBenchInstance(scale float64) (*graph.Graph, CoreBenchGraph) {
+	n := int(230 * scale)
+	if n < 40 {
+		n = 40
+	}
+	p := 0.5
+	for {
+		r := rng.New(20260729)
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bool(p) {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+		g := b.Build()
+		if len(graph.ConnectedComponents(g)) == 1 {
+			return g, CoreBenchGraph{Name: "gnp-giant", Vertices: g.N(), Edges: g.M()}
+		}
+		p += 0.05
+	}
+}
+
+// CoreBench measures the branch-and-bound engine on the giant-component
+// instance at Workers 1 and 4: wall clock, node throughput and heap
+// allocations per node (end to end, so per-component setup is included
+// and amortized).
+func CoreBench(cfg Config) CoreBenchResult {
+	g, desc := coreBenchInstance(cfg.scale())
+	res := CoreBenchResult{
+		Graph:      desc,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	opt := core.Options{K: 2, Delta: 4, SkipReduction: true, MaxNodes: cfg.MaxNodes}
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+		// Warm-up run, then best-of-3 wall clock.
+		if _, err := core.MaxRFC(g, opt); err != nil {
+			panic(err)
+		}
+		run := CoreBenchRun{Workers: workers}
+		var ms0, ms1 runtime.MemStats
+		for i := 0; i < 3; i++ {
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			r, err := core.MaxRFC(g, opt)
+			elapsed := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				panic(err)
+			}
+			if run.Seconds == 0 || elapsed < run.Seconds {
+				run.Seconds = elapsed
+				run.Nodes = r.Stats.Nodes
+				run.NodesPerSec = float64(r.Stats.Nodes) / elapsed
+				run.AllocsPerNode = float64(ms1.Mallocs-ms0.Mallocs) / float64(r.Stats.Nodes)
+				run.BestSize = r.Size()
+			}
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	if len(res.Runs) == 2 && res.Runs[1].Seconds > 0 {
+		res.SpeedupW4OverW1 = res.Runs[0].Seconds / res.Runs[1].Seconds
+	}
+	return res
+}
+
+// WriteCoreBench runs CoreBench and writes the JSON record.
+func WriteCoreBench(cfg Config, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(CoreBench(cfg))
+}

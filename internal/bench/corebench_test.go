@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCoreBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCoreBench(Config{Scale: 0.3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var res CoreBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("BENCH_core.json output not valid JSON: %v", err)
+	}
+	if len(res.Runs) != 2 || res.Runs[0].Workers != 1 || res.Runs[1].Workers != 4 {
+		t.Fatalf("want runs for workers 1 and 4, got %+v", res.Runs)
+	}
+	for _, run := range res.Runs {
+		if run.Nodes <= 0 || run.Seconds <= 0 || run.NodesPerSec <= 0 {
+			t.Fatalf("degenerate run record: %+v", run)
+		}
+	}
+	if res.Runs[0].BestSize != res.Runs[1].BestSize {
+		t.Fatalf("workers 1 and 4 disagree on the optimum: %d vs %d",
+			res.Runs[0].BestSize, res.Runs[1].BestSize)
+	}
+	if res.SpeedupW4OverW1 <= 0 {
+		t.Fatalf("speedup not computed: %+v", res)
+	}
+}

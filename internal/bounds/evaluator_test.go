@@ -1,0 +1,120 @@
+package bounds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+// The scratch evaluator must agree exactly with the reference
+// Evaluate on the materialized induced subgraph, for every extra bound
+// and every (R, C) split: the engine swaps one for the other on the
+// hot path, so any divergence is a soundness bug.
+func TestEvaluatorMatchesInducedEvaluate(t *testing.T) {
+	var ev Evaluator // shared across iterations to exercise scratch reuse
+	f := func(seed uint64, n8, p8, d8, split8 uint8) bool {
+		n := int(n8%40) + 1
+		p := 0.15 + float64(p8%70)/100
+		delta := int32(d8 % 4)
+		g := random(seed, n, p)
+
+		// Random disjoint split of a random subset into (R, C).
+		r := rng.New(seed + 999)
+		var rr, cc []int32
+		for v := int32(0); v < g.N(); v++ {
+			switch r.Intn(4) {
+			case 0:
+				if len(rr) < int(split8%5) {
+					rr = append(rr, v)
+				} else {
+					cc = append(cc, v)
+				}
+			case 1, 2:
+				cc = append(cc, v)
+			}
+		}
+		vs := append(append([]int32(nil), rr...), cc...)
+		if len(vs) == 0 {
+			return true
+		}
+		induced := graph.Induce(g, vs).G
+		for _, extra := range Extras() {
+			want := Evaluate(induced, delta, extra)
+			got := ev.Evaluate(g, rr, cc, delta, extra)
+			if got != want {
+				t.Logf("seed=%d n=%d p=%.2f δ=%d extra=%v |R|=%d |C|=%d: evaluator %d, reference %d",
+					seed, n, p, delta, extra, len(rr), len(cc), got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The evaluator on the full vertex set equals Evaluate on the graph
+// itself (identity view), including the empty graph.
+func TestEvaluatorIdentityView(t *testing.T) {
+	var ev Evaluator
+	if got := ev.Evaluate(graph.NewBuilder(0).Build(), nil, nil, 1, ColorfulPath); got != 0 {
+		t.Fatalf("empty view bound = %d, want 0", got)
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		g := random(seed, 35, 0.3)
+		ids := make([]int32, g.N())
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		for _, extra := range Extras() {
+			want := Evaluate(g, 2, extra)
+			if got := ev.Evaluate(g, nil, ids, 2, extra); got != want {
+				t.Fatalf("seed %d extra %v: identity view %d, Evaluate %d", seed, extra, got, want)
+			}
+		}
+	}
+}
+
+// Steady-state evaluation must not allocate: the searcher calls this
+// once per shallow branch node.
+func TestEvaluatorSteadyStateAllocs(t *testing.T) {
+	g := random(3, 120, 0.2)
+	ids := make([]int32, g.N())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	rr, cc := ids[:4], ids[4:]
+	var ev Evaluator
+	for _, extra := range Extras() {
+		ev.Evaluate(g, rr, cc, 2, extra) // warm the scratch
+	}
+	for _, extra := range Extras() {
+		extra := extra
+		avg := testing.AllocsPerRun(50, func() {
+			ev.Evaluate(g, rr, cc, 2, extra)
+		})
+		if avg != 0 {
+			t.Errorf("extra %v: %.1f allocs per evaluation, want 0", extra, avg)
+		}
+	}
+}
+
+func BenchmarkEvaluatorView(b *testing.B) {
+	g := random(1, 300, 0.1)
+	ids := make([]int32, g.N())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var ev Evaluator
+	for _, extra := range Extras() {
+		b.Run(extra.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev.Evaluate(g, nil, ids, 2, extra)
+			}
+		})
+	}
+}

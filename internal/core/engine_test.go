@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+)
+
+// newWarmEngine builds a searcher plus a warmed worker over the single
+// component of g, ready for repeated full-tree runs: the first run
+// grows every arena and settles the incumbent, so subsequent runs are
+// the engine's steady state.
+func newWarmEngine(t testing.TB, g *graph.Graph, opt Options) (*searcher, *worker) {
+	t.Helper()
+	if opt.BoundDepth <= 0 {
+		opt.BoundDepth = 1
+	}
+	s := &searcher{g: g, k: int32(opt.K), delta: int32(opt.Delta), opt: opt}
+	comps := graph.ConnectedComponents(g)
+	if len(comps) != 1 {
+		t.Fatalf("test graph has %d components, want 1", len(comps))
+	}
+	d := s.newCompData(comps[0])
+	if d.words == 0 {
+		t.Fatalf("component of %d vertices fell back to the slice path", d.n)
+	}
+	w := newWorker(d)
+	w.branchRoot() // warm: grows arenas and fixes the incumbent
+	w.flushNodes()
+	if s.nodes.Load() == 0 {
+		t.Fatal("warm run visited no nodes")
+	}
+	return s, w
+}
+
+// Steady-state branching must allocate zero heap objects per node on a
+// bitset-eligible component — the acceptance criterion of the
+// allocation-free engine. Checked for the plain baseline and for the
+// default bounds configuration (whose evaluator runs scratch-backed).
+func TestBranchSteadyStateZeroAllocs(t *testing.T) {
+	g := random(42, 80, 0.4)
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"plain", Options{K: 2, Delta: 1}},
+		{"bounds", Options{K: 2, Delta: 1, UseBounds: true, Extra: bounds.ColorfulDegeneracy}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, w := newWarmEngine(t, g, tc.opt)
+			avg := testing.AllocsPerRun(20, func() {
+				w.branchRoot()
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state branching allocates %.2f objects per full-tree run, want 0", avg)
+			}
+		})
+	}
+}
+
+// BenchmarkBranchAllocs drives the branching engine over a fixed
+// component and reports allocations (want 0 allocs/op in steady state)
+// plus the node throughput.
+func BenchmarkBranchAllocs(b *testing.B) {
+	g := random(42, 120, 0.3)
+	s, w := newWarmEngine(b, g, Options{K: 2, Delta: 1})
+	start := s.nodes.Load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.branchRoot()
+	}
+	w.flushNodes()
+	b.StopTimer()
+	nodes := s.nodes.Load() - start
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
+}
+
+// The slice fallback path (components above adjBitsetLimit) must agree
+// with the Bron–Kerbosch oracle; forced by shrinking the limit to 0.
+func TestSlicePathMatchesOracle(t *testing.T) {
+	old := adjBitsetLimit
+	adjBitsetLimit = 0
+	defer func() { adjBitsetLimit = old }()
+
+	for seed := uint64(0); seed < 8; seed++ {
+		g := random(seed, 32, 0.35)
+		for _, kd := range [][2]int{{1, 0}, {2, 1}, {3, 2}} {
+			k, delta := kd[0], kd[1]
+			want := len(enum.MaxFairClique(g, k, delta))
+			for _, workers := range []int{1, 4} {
+				res := mustMaxRFC(t, g, Options{
+					K: k, Delta: delta, Workers: workers,
+					UseBounds: true, Extra: bounds.ColorfulDegeneracy,
+				})
+				if res.Size() != want {
+					t.Fatalf("seed=%d k=%d δ=%d workers=%d: slice path %d, oracle %d",
+						seed, k, delta, workers, res.Size(), want)
+				}
+				if want > 0 && !g.IsFairClique(res.Clique, k, delta) {
+					t.Fatalf("seed=%d: invalid clique from slice path", seed)
+				}
+			}
+		}
+	}
+}
+
+// Intra-component parallelism: dense random graphs are one giant
+// connected component, so Workers > 1 exercises the root-split path.
+// Workers ∈ {1, 4} must agree on the optimum size with consistent
+// stats.
+func TestIntraComponentWorkersMatchSerial(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		n := 40 + int(seed%3)*15
+		g := random(seed, n, 0.3)
+		k := 1 + int(seed%3)
+		delta := int(seed % 4)
+		serial := mustMaxRFC(t, g, Options{K: k, Delta: delta})
+		par := mustMaxRFC(t, g, Options{K: k, Delta: delta, Workers: 4})
+		if serial.Size() != par.Size() {
+			t.Fatalf("seed=%d n=%d k=%d δ=%d: serial %d, workers=4 %d",
+				seed, n, k, delta, serial.Size(), par.Size())
+		}
+		if par.Size() > 0 {
+			if !g.IsFairClique(par.Clique, k, delta) {
+				t.Fatalf("seed=%d: parallel result invalid", seed)
+			}
+			if par.Stats.Nodes == 0 {
+				t.Fatalf("seed=%d: parallel run with a clique but no nodes", seed)
+			}
+		}
+		if par.Stats.Aborted || serial.Stats.Aborted {
+			t.Fatalf("seed=%d: unexpected abort without MaxNodes", seed)
+		}
+	}
+}
+
+// Many small components with Workers > 1 exercise the cross-component
+// pool (components under smallComponentLimit are distributed one per
+// goroutine rather than root-split).
+func TestSmallComponentPoolMatchesSerial(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := multiComponent(seed, 5)
+		serial := mustMaxRFC(t, g, Options{K: 2, Delta: 1})
+		pooled := mustMaxRFC(t, g, Options{K: 2, Delta: 1, Workers: 4})
+		if serial.Size() != pooled.Size() {
+			t.Fatalf("seed=%d: serial %d, pooled %d", seed, serial.Size(), pooled.Size())
+		}
+		if pooled.Size() > 0 && !g.IsFairClique(pooled.Clique, 2, 1) {
+			t.Fatalf("seed=%d: pooled result invalid", seed)
+		}
+	}
+}
+
+// The relabeled component must preserve exactness under every variant
+// (cross-check of the peel-rank relabeling against the oracle).
+func TestRelabeledComponentExactness(t *testing.T) {
+	for seed := uint64(20); seed < 26; seed++ {
+		g := random(seed, 28, 0.45)
+		want := len(enum.MaxFairClique(g, 2, 1))
+		for _, opt := range allVariants(2, 1) {
+			res := mustMaxRFC(t, g, opt)
+			if res.Size() != want {
+				t.Fatalf("seed=%d %+v: got %d want %d", seed, opt, res.Size(), want)
+			}
+		}
+	}
+}

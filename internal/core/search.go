@@ -11,10 +11,45 @@
 // branching preserves the paper's alternating-attribute design via the
 // count-difference state machine described in DESIGN.md (corrections
 // 7-9), which is validated against a brute-force oracle.
+//
+// # Performance architecture
+//
+// The branch-and-bound hot path is an allocation-free, bitset-native
+// engine:
+//
+//   - Each connected component is relabeled so that vertex id equals
+//     its CalColorOD peel rank. The "same-attribute, later-rank"
+//     branching rule (correction 1) then becomes a plain id
+//     comparison, and candidate sets iterated in id order are already
+//     in peel order.
+//   - When a component has at most adjBitsetLimit vertices, candidate
+//     sets are packed bitsets. A precomputed per-vertex successor mask
+//     (adjacency AND (same-attribute-later OR other-attribute)) turns
+//     child-candidate construction into a word-level AND with fused
+//     per-attribute popcounts, instead of a per-candidate loop.
+//   - All per-node state lives in per-worker arenas indexed by search
+//     depth: the clique buffer rbuf, one candidate row (or slice) per
+//     depth, and the bound evaluator's scratch. Steady-state branching
+//     performs zero heap allocations per node (asserted by
+//     TestBranchSteadyStateZeroAllocs).
+//   - Upper bounds (internal/bounds) are evaluated on (component, R, C)
+//     views through bounds.Evaluator, which rebuilds the instance CSR
+//     into reusable scratch rather than materializing an induced
+//     subgraph per check.
+//   - Options.Workers > 1 parallelizes *inside* a component: the
+//     branches of the root node are split across workers that share
+//     the atomic incumbent, so parallelism helps even when the reduced
+//     graph is one giant connected component (the common case on real
+//     networks). Node counting is batched per worker to keep the
+//     shared counters off the hot path.
+//
+// Open follow-ups are tracked in ROADMAP.md (SIMD-friendly popcount
+// batching, NUMA-aware work stealing across components).
 package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,13 +86,17 @@ type Options struct {
 	SkipReduction bool
 	// MaxNodes aborts the search after this many branch nodes when
 	// positive (safety valve for experiment sweeps). The result is then
-	// the best clique found so far and Stats.Aborted is set.
+	// the best clique found so far and Stats.Aborted is set. Because
+	// node counting is batched per worker, the abort may trigger a few
+	// dozen nodes past the cap.
 	MaxNodes int64
-	// Workers sets the number of goroutines searching connected
-	// components concurrently. 0 or 1 searches serially (fully
-	// deterministic). With more workers the optimum size is still
-	// exact, but which of several equally-sized cliques is returned may
-	// vary between runs.
+	// Workers sets the number of goroutines branching concurrently.
+	// Parallelism is intra-component: the root-level branches of each
+	// component are split across workers sharing the atomic incumbent,
+	// so Workers > 1 helps even when the reduced graph is a single
+	// giant component. 0 or 1 searches serially (fully deterministic).
+	// With more workers the optimum size is still exact, but which of
+	// several equally-sized cliques is returned may vary between runs.
 	Workers int
 }
 
@@ -136,27 +175,42 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 	}
 
 	// Lines 6-11: branch each connected component under CalColorOD.
-	// Components are searched largest-first: good incumbents surface
-	// early and parallel workers get balanced loads.
+	// Components are searched largest-first so good incumbents surface
+	// early. Two-level parallelism: large components get their root
+	// branches split across all Workers (so a single giant component
+	// still scales); the tail of small components — where per-component
+	// setup would dwarf an intra-split — is distributed across Workers
+	// one component per goroutine.
 	comps := graph.ConnectedComponents(work)
 	res.Stats.Components = len(comps)
 	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
-	if opt.Workers > 1 {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	idx := 0
+	for ; idx < len(comps); idx++ {
+		if workers > 1 && len(comps[idx]) <= smallComponentLimit {
+			break // the rest (sorted descending) go to the pool below
+		}
+		if s.aborted.Load() {
+			break
+		}
+		s.searchComponent(comps[idx], workers)
+	}
+	if workers > 1 && idx < len(comps) && !s.aborted.Load() {
 		jobs := make(chan []int32)
 		var wg sync.WaitGroup
-		for w := 0; w < opt.Workers; w++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for comp := range jobs {
-					s.searchComponent(comp)
+					s.searchComponent(comp, 1)
 				}
 			}()
 		}
-		for _, comp := range comps {
-			if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*opt.K {
-				continue
-			}
+		for _, comp := range comps[idx:] {
 			if s.aborted.Load() {
 				break
 			}
@@ -164,16 +218,6 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 		}
 		close(jobs)
 		wg.Wait()
-	} else {
-		for _, comp := range comps {
-			if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*opt.K {
-				continue
-			}
-			s.searchComponent(comp)
-			if s.aborted.Load() {
-				break
-			}
-		}
 	}
 
 	res.Stats.Nodes = s.nodes.Load()
@@ -191,7 +235,7 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 
 // searcher holds the shared state of one MaxRFC run over the reduced
 // graph: the incumbent and the effort counters, all safe for
-// concurrent component workers.
+// concurrent workers.
 type searcher struct {
 	g        *graph.Graph
 	k, delta int32
@@ -218,209 +262,486 @@ func (s *searcher) record(r []int32, toWork []int32) {
 	}
 }
 
-// adjBitsetLimit caps bitset adjacency at 4096 vertices (2 MiB).
-const adjBitsetLimit = 4096
+// adjBitsetLimit caps bitset adjacency at 4096 vertices (the
+// precomputed successor matrix is then at most 2 MiB). A variable so
+// tests can force the slice fallback path.
+var adjBitsetLimit int32 = 4096
 
-// compCtx is the per-component (and per-goroutine) search context.
-type compCtx struct {
-	s       *searcher
-	comp    *graph.Graph // induced component
-	toWork  []int32      // component id -> reduced-graph id
-	rank    []int32      // CalColorOD rank within the component
-	adj     []uint64     // bitset adjacency when the component is small
-	adjBits int32        // words per row (0 when bitsets are disabled)
+// smallComponentLimit is the size below which a component is searched
+// by a single worker from the cross-component pool instead of being
+// root-split: small components finish faster than the split's
+// per-component setup and barrier cost.
+const smallComponentLimit = 1024
+
+// compData is the shared, read-only search context of one component.
+// It is built once per component and shared by all workers branching
+// inside it.
+type compData struct {
+	s      *searcher
+	comp   *graph.Graph // induced component, relabeled so id == peel rank
+	toWork []int32      // component id -> reduced-graph id
+	n      int32
+	cnt    [2]int32 // attribute counts of the whole component
+
+	// Bitset representation (nil/0 when n > adjBitsetLimit).
+	words    int32            // words per row
+	succ     *graph.BitMatrix // per-vertex branch-successor masks
+	attrMask [2][]uint64      // vertices of each attribute
+	fullRow  []uint64         // all n bits set: the root candidate set
+
+	allVerts []int32 // 0..n-1: the root candidate slice (fallback path)
 }
 
-func (s *searcher) searchComponent(comp []int32) {
+// newCompData induces comp from the reduced graph and relabels it by
+// CalColorOD peel rank (Algorithm 2 line 9), then precomputes the
+// bitset machinery when the component is small enough.
+func (s *searcher) newCompData(comp []int32) *compData {
 	sub := graph.Induce(s.g, comp)
-	ctx := &compCtx{s: s, comp: sub.G, toWork: sub.ToParent}
+	col := color.Greedy(sub.G)
+	rank := colorful.PeelRank(sub.G, col)
+	n := sub.G.N()
 
-	// Line 9: CalColorOD — the colorful-core peeling order.
-	col := color.Greedy(ctx.comp)
-	ctx.rank = colorful.PeelRank(ctx.comp, col)
+	// Relabel so that id order is peel-rank order: branching's
+	// "same-attribute, later-rank" test becomes v > u, and bitset
+	// iteration in id order visits candidates in CalColorOD order.
+	order := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		order[rank[v]] = v
+	}
+	d := &compData{s: s, comp: graph.Permute(sub.G, order), toWork: make([]int32, n), n: n}
+	for i, v := range order {
+		d.toWork[i] = sub.ToParent[v]
+	}
+	for v := int32(0); v < n; v++ {
+		d.cnt[d.comp.Attr(v)]++
+	}
 
-	n := ctx.comp.N()
 	if n <= adjBitsetLimit {
-		words := (n + 63) / 64
-		ctx.adjBits = words
-		ctx.adj = make([]uint64, int64(n)*int64(words))
+		d.words = graph.BitWords(n)
+		adj := graph.AdjacencyBitMatrix(d.comp) // local: only succ survives
+		d.attrMask[0] = make([]uint64, d.words)
+		d.attrMask[1] = make([]uint64, d.words)
 		for v := int32(0); v < n; v++ {
-			row := ctx.adj[int64(v)*int64(words):]
-			for _, w := range ctx.comp.Neighbors(v) {
-				row[w/64] |= 1 << uint(w%64)
+			graph.BitSet(d.attrMask[d.comp.Attr(v)], v)
+		}
+		d.fullRow = make([]uint64, d.words)
+		graph.BitFillN(d.fullRow, n)
+		// succ[u] = N(u) ∩ (same-attribute vertices after u ∪ the other
+		// attribute): exactly the vertices expand may keep in u's child.
+		d.succ = graph.NewBitMatrix(n, n)
+		later := make([]uint64, d.words)
+		for u := int32(0); u < n; u++ {
+			graph.BitHighMask(later, u+1)
+			row := adj.Row(u)
+			same := d.attrMask[d.comp.Attr(u)]
+			other := d.attrMask[d.comp.Attr(u).Other()]
+			dst := d.succ.Row(u)
+			for i := range dst {
+				dst[i] = row[i] & (same[i]&later[i] | other[i])
 			}
 		}
-	}
-
-	// Root candidates: the whole component in CalColorOD order.
-	c := make([]int32, n)
-	for i := int32(0); i < n; i++ {
-		c[i] = i
-	}
-	sortByRank(c, ctx.rank)
-	var cnt [2]int32
-	ctx.branch(nil, c, cnt)
-}
-
-func (ctx *compCtx) adjacent(u, v int32) bool {
-	if ctx.adjBits > 0 {
-		return ctx.adj[int64(u)*int64(ctx.adjBits)+int64(v/64)]&(1<<uint(v%64)) != 0
-	}
-	return ctx.comp.HasEdge(u, v)
-}
-
-// branch is one node of the search tree. r is the current clique (in
-// component ids), c the candidates sorted by CalColorOD rank, cnt the
-// attribute counts of r. See DESIGN.md corrections 7-9 for how this
-// realizes Algorithm 3 soundly.
-func (ctx *compCtx) branch(r, c []int32, cnt [2]int32) {
-	s := ctx.s
-	if s.aborted.Load() {
-		return
-	}
-	if n := s.nodes.Add(1); s.opt.MaxNodes > 0 && n > s.opt.MaxNodes {
-		s.aborted.Store(true)
-		return
-	}
-	// Correction 7: record R whenever it is fair.
-	if cnt[0] >= s.k && cnt[1] >= s.k && abs32(cnt[0]-cnt[1]) <= s.delta {
-		if int32(len(r)) > s.bestSize.Load() {
-			s.record(r, ctx.toWork)
+	} else {
+		d.allVerts = make([]int32, n)
+		for i := range d.allVerts {
+			d.allVerts[i] = int32(i)
 		}
 	}
-	// Size bound ubs (line 19) and the 2k feasibility floor (line 20).
-	total := int32(len(r) + len(c))
-	if total <= s.bestSize.Load() || total < 2*s.k {
+	return d
+}
+
+// worker is the per-goroutine branching state: depth-indexed arenas so
+// steady-state branching allocates nothing.
+//
+// Invariant for rbuf (the clique arena): the branch node at depth d
+// owns slot rbuf[d]; slots below d are frozen for the lifetime of that
+// node, and rbuf[:d] is the current clique R. The buffer is allocated
+// once per worker at full component capacity, so the old
+// append(r, u)-style re-allocation (and its aliasing footgun: siblings
+// sharing a backing array) cannot occur.
+type worker struct {
+	d *compData
+
+	rbuf []int32     // clique arena; rbuf[:depth] is R
+	cand [][]uint64  // bitset candidates, one row per depth; cand[0] is d.fullRow (never written)
+	cs   [][]int32   // slice candidates, one per depth (fallback path)
+	bc   []int32     // scratch: decoded candidate set for bound views
+	ev   bounds.Evaluator
+
+	// collect, when non-nil, makes a depth-0 expand record the branch
+	// vertices here instead of recursing — how the root is split into
+	// parallel tasks without duplicating the branch prologue.
+	collect []int32
+
+	localNodes int64 // batched into searcher.nodes by flushNodes
+	flushEvery int64
+}
+
+func newWorker(d *compData) *worker {
+	w := &worker{
+		d:          d,
+		rbuf:       make([]int32, d.n),
+		flushEvery: 256,
+	}
+	if d.s.opt.MaxNodes > 0 {
+		// Keep the abort reasonably prompt when a cap is set.
+		w.flushEvery = 8
+	}
+	if d.words > 0 {
+		w.cand = append(w.cand, d.fullRow)
+	} else {
+		w.cs = append(w.cs, d.allVerts)
+	}
+	return w
+}
+
+// countNode batches node accounting: the shared atomic is touched once
+// per flushEvery nodes instead of once per node.
+func (w *worker) countNode() {
+	w.localNodes++
+	if w.localNodes >= w.flushEvery {
+		w.flushNodes()
+	}
+}
+
+func (w *worker) flushNodes() {
+	if w.localNodes == 0 {
 		return
 	}
+	s := w.d.s
+	n := s.nodes.Add(w.localNodes)
+	w.localNodes = 0
+	if s.opt.MaxNodes > 0 && n > s.opt.MaxNodes {
+		s.aborted.Store(true)
+	}
+}
+
+// searchComponent branches one connected component, splitting the root
+// branches across the given number of workers when workers > 1.
+func (s *searcher) searchComponent(comp []int32, workers int) {
+	// Re-checked here (not only at scheduling time) so a component
+	// queued while the incumbent was small is pruned by the incumbent
+	// that has grown since.
+	if s.aborted.Load() || int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+		return
+	}
+	d := s.newCompData(comp)
+
+	// The driver worker runs the root node's prologue (recording, size
+	// and attribute feasibility, δ-caps, bounds) with collect set: the
+	// expansion step then yields the root branch vertices instead of
+	// recursing.
+	driver := newWorker(d)
+	driver.collect = make([]int32, 0, d.n)
+	driver.branchRoot()
+	tasks := driver.collect
+	driver.collect = nil
+	if len(tasks) == 0 || s.aborted.Load() {
+		driver.flushNodes()
+		return
+	}
+
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		// Serial: recurse into each root branch on the driver.
+		for _, u := range tasks {
+			if s.aborted.Load() {
+				break
+			}
+			driver.runRootBranch(u)
+		}
+		driver.flushNodes()
+		return
+	}
+	// Parallel: workers pull root branches from a shared cursor. The
+	// branch prologue re-checks the incumbent, so branches queued
+	// behind a growing incumbent are pruned when claimed.
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		wk := driver
+		if i > 0 {
+			wk = newWorker(d)
+		}
+		go func(wk *worker) {
+			defer wg.Done()
+			defer wk.flushNodes()
+			for {
+				t := next.Add(1) - 1
+				if int(t) >= len(tasks) || s.aborted.Load() {
+					return
+				}
+				wk.runRootBranch(tasks[t])
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// branchRoot enters the root node: R = ∅, C = the whole component.
+func (w *worker) branchRoot() {
+	if w.d.words > 0 {
+		w.branchBits(0, [2]int32{}, w.d.cnt)
+	} else {
+		w.branchSlice(0, w.d.allVerts, [2]int32{}, w.d.cnt)
+	}
+}
+
+// runRootBranch executes the root branch on vertex u: the child node
+// the root's expand step would have recursed into.
+func (w *worker) runRootBranch(u int32) {
+	d := w.d
+	var cnt [2]int32
+	cnt[d.comp.Attr(u)]++
+	w.rbuf[0] = u
+	if d.words > 0 {
+		w.ensureBits(1)
+		avail := w.makeChildBits(w.cand[1], d.fullRow, u, false)
+		w.branchBits(1, cnt, avail)
+	} else {
+		w.ensureSlice(1, len(d.allVerts))
+		child, avail := w.makeChildSlice(1, d.allVerts, u, false)
+		w.branchSlice(1, child, cnt, avail)
+	}
+}
+
+// ensureBits guarantees a candidate row exists for the given depth.
+func (w *worker) ensureBits(depth int) {
+	for len(w.cand) <= depth {
+		w.cand = append(w.cand, make([]uint64, w.d.words))
+	}
+}
+
+// ensureSlice guarantees a candidate slice with capacity need exists
+// for the given depth.
+func (w *worker) ensureSlice(depth, need int) {
+	for len(w.cs) <= depth {
+		w.cs = append(w.cs, nil)
+	}
+	if cap(w.cs[depth]) < need {
+		w.cs[depth] = make([]int32, 0, need)
+	}
+}
+
+// makeChildBits writes into dst the child candidate set of branching on
+// u from src: src ∩ succ(u), restricted to u's attribute when declare
+// is set. Per-attribute candidate counts are fused into the AND pass.
+func (w *worker) makeChildBits(dst, src []uint64, u int32, declare bool) [2]int32 {
+	d := w.d
+	succ := d.succ.Row(u)
+	maskA := d.attrMask[0]
 	var avail [2]int32
-	for _, v := range c {
-		avail[ctx.comp.Attr(v)]++
+	if declare {
+		am := d.attrMask[d.comp.Attr(u)]
+		for i := range dst {
+			cw := src[i] & succ[i] & am[i]
+			dst[i] = cw
+			avail[0] += int32(bits.OnesCount64(cw & maskA[i]))
+			avail[1] += int32(bits.OnesCount64(cw &^ maskA[i]))
+		}
+		return avail
 	}
-	// Attribute feasibility (lines 21-23).
+	for i := range dst {
+		cw := src[i] & succ[i]
+		dst[i] = cw
+		a := int32(bits.OnesCount64(cw & maskA[i]))
+		avail[0] += a
+		avail[1] += int32(bits.OnesCount64(cw)) - a
+	}
+	return avail
+}
+
+// makeChildSlice is makeChildBits for the fallback path: it fills the
+// depth's candidate arena from src and returns it with the counts.
+func (w *worker) makeChildSlice(depth int, src []int32, u int32, declare bool) ([]int32, [2]int32) {
+	d := w.d
+	attr := d.comp.Attr(u)
+	child := w.cs[depth][:0]
+	var avail [2]int32
+	for _, v := range src {
+		if v == u || !d.comp.HasEdge(u, v) {
+			continue
+		}
+		if av := d.comp.Attr(v); av == attr {
+			if v < u { // same attribute: only later peel ranks (ids)
+				continue
+			}
+			avail[attr]++
+		} else if declare {
+			continue
+		} else {
+			avail[av]++
+		}
+		child = append(child, v)
+	}
+	w.cs[depth] = child // keep the (possibly grown) backing array
+	return child, avail
+}
+
+// prologue runs the shared per-node bookkeeping and pruning: node
+// accounting, fairness recording (correction 7), the size bound ubs and
+// 2k floor (lines 19-20), attribute feasibility (lines 21-23), δ-caps
+// (correction 9) and the expensive bounds at shallow depth (§VI). It
+// returns false when the node is pruned, and otherwise the expansion
+// sides via the count-difference state machine (correction 8).
+func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits []uint64, candSlice []int32) bool {
+	s := w.d.s
+	if s.aborted.Load() {
+		return false
+	}
+	w.countNode()
+	if cnt[0] >= s.k && cnt[1] >= s.k && abs32(cnt[0]-cnt[1]) <= s.delta {
+		if int32(depth) > s.bestSize.Load() {
+			s.record(w.rbuf[:depth], w.d.toWork)
+		}
+	}
+	total := int32(depth) + avail[0] + avail[1]
+	if total <= s.bestSize.Load() || total < 2*s.k {
+		return false
+	}
 	if cnt[0]+avail[0] < s.k || cnt[1]+avail[1] < s.k {
-		return
+		return false
 	}
-	// Correction 9: δ-caps. Once an attribute has no candidates its
-	// count is final, capping the other side at cnt+δ.
+	// δ-caps: once an attribute has no candidates its count is final,
+	// capping the other side at cnt+δ.
 	for x := 0; x < 2; x++ {
 		y := 1 - x
 		if avail[x] == 0 && cnt[y] >= cnt[x]+s.delta && avail[y] > 0 {
-			// The other side is already at its cap: no candidate of y
-			// can be added, so the node is a dead end beyond recording.
-			return
+			return false
 		}
 	}
-	// Expensive bounds at shallow depth (§VI: "when selecting vertices
-	// to be added to R for the first time").
-	if s.opt.UseBounds && len(r) <= s.opt.BoundDepth {
+	if s.opt.UseBounds && depth <= s.opt.BoundDepth {
 		s.boundChecks.Add(1)
-		inst := instanceGraph(ctx.comp, r, c)
-		ub := bounds.Evaluate(inst, s.delta, s.opt.Extra)
+		c := candSlice
+		if candBits != nil {
+			w.bc = graph.BitAppend(w.bc[:0], candBits)
+			c = w.bc
+		}
+		ub := w.ev.Evaluate(w.d.comp, w.rbuf[:depth], c, s.delta, s.opt.Extra)
 		if ub <= s.bestSize.Load() || ub < 2*s.k {
 			s.boundPrunes.Add(1)
-			return
+			return false
 		}
 	}
-	// Correction 8: expansion sides from the count difference.
-	diff := cnt[0] - cnt[1]
-	switch {
-	case diff >= 2:
-		ctx.expand(r, c, cnt, graph.AttrA, false)
-	case diff <= -1:
-		ctx.expand(r, c, cnt, graph.AttrB, false)
-	case diff == 0:
-		ctx.expand(r, c, cnt, graph.AttrA, false)
-		if cnt[0] >= s.k {
-			ctx.expand(r, c, cnt, graph.AttrB, true) // declare side a complete
-		}
-	default: // diff == 1
-		ctx.expand(r, c, cnt, graph.AttrB, false)
-		if cnt[1] >= s.k {
-			ctx.expand(r, c, cnt, graph.AttrA, true) // declare side b complete
-		}
-	}
+	return true
 }
 
-// expand branches on every candidate u of the given attribute. When
-// declare is set, the other attribute is fixed as complete: its
-// remaining candidates are dropped from the child (this is what makes
-// the count-difference state machine duplicate-free).
-func (ctx *compCtx) expand(r, c []int32, cnt [2]int32, attr graph.Attr, declare bool) {
-	for _, u := range c {
-		if ctx.s.aborted.Load() {
-			return
-		}
-		if ctx.comp.Attr(u) != attr {
-			continue
-		}
-		// Child candidates: neighbours of u, same-attribute ones only
-		// after u in the CalColorOD order (correction 1), the other
-		// attribute dropped entirely under a declaration.
-		child := make([]int32, 0, len(c))
-		for _, v := range c {
-			if v == u || !ctx.adjacent(u, v) {
-				continue
-			}
-			if ctx.comp.Attr(v) == attr {
-				if ctx.rank[v] < ctx.rank[u] {
-					continue
-				}
-			} else if declare {
-				continue
-			}
-			child = append(child, v)
-		}
-		ncnt := cnt
-		ncnt[attr]++
-		ctx.branch(append(r, u), child, ncnt)
-	}
-}
-
-// instanceGraph induces the subgraph G' of the instance (R, C).
-func instanceGraph(g *graph.Graph, r, c []int32) *graph.Graph {
-	vs := make([]int32, 0, len(r)+len(c))
-	vs = append(vs, r...)
-	vs = append(vs, c...)
-	return graph.Induce(g, vs).G
-}
-
-func sortByRank(vs []int32, rank []int32) {
-	// Insertion sort is fine at root (called once per component) but
-	// components can be large; use a simple merge sort keyed by rank.
-	if len(vs) < 2 {
+// branchBits is one node of the search tree on the bitset path. The
+// candidates live in w.cand[depth], R in w.rbuf[:depth]. The expansion
+// sides follow the count-difference state machine (correction 8).
+func (w *worker) branchBits(depth int, cnt, avail [2]int32) {
+	if !w.prologue(depth, cnt, avail, w.cand[depth], nil) {
 		return
 	}
-	tmp := make([]int32, len(vs))
-	var rec func(lo, hi int)
-	rec = func(lo, hi int) {
-		if hi-lo < 16 {
-			for i := lo + 1; i < hi; i++ {
-				for j := i; j > lo && rank[vs[j]] < rank[vs[j-1]]; j-- {
-					vs[j], vs[j-1] = vs[j-1], vs[j]
-				}
+	s := w.d.s
+	switch diff := cnt[0] - cnt[1]; {
+	case diff >= 2:
+		w.expandBits(depth, graph.AttrA, false, cnt)
+	case diff <= -1:
+		w.expandBits(depth, graph.AttrB, false, cnt)
+	case diff == 0:
+		w.expandBits(depth, graph.AttrA, false, cnt)
+		if cnt[0] >= s.k {
+			w.expandBits(depth, graph.AttrB, true, cnt) // declare side a complete
+		}
+	default: // diff == 1
+		w.expandBits(depth, graph.AttrB, false, cnt)
+		if cnt[1] >= s.k {
+			w.expandBits(depth, graph.AttrA, true, cnt) // declare side b complete
+		}
+	}
+}
+
+// expandBits branches on every candidate of the given attribute, in id
+// (= peel rank) order.
+func (w *worker) expandBits(depth int, attr graph.Attr, declare bool, cnt [2]int32) {
+	d := w.d
+	s := d.s
+	src := w.cand[depth]
+	am := d.attrMask[attr]
+	if w.collect != nil && depth == 0 {
+		// Root split: record the branch vertices for the task queue.
+		for i := range src {
+			word := src[i] & am[i]
+			base := int32(i) << 6
+			for word != 0 {
+				w.collect = append(w.collect, base+int32(bits.TrailingZeros64(word)))
+				word &= word - 1
 			}
+		}
+		return
+	}
+	w.ensureBits(depth + 1)
+	dst := w.cand[depth+1]
+	ncnt := cnt
+	ncnt[attr]++
+	for i := range src {
+		word := src[i] & am[i]
+		base := int32(i) << 6
+		for word != 0 {
+			u := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if s.aborted.Load() {
+				return
+			}
+			avail := w.makeChildBits(dst, src, u, declare)
+			w.rbuf[depth] = u
+			w.branchBits(depth+1, ncnt, avail)
+		}
+	}
+}
+
+// branchSlice is branchBits for components too large for bitset rows.
+func (w *worker) branchSlice(depth int, c []int32, cnt, avail [2]int32) {
+	if !w.prologue(depth, cnt, avail, nil, c) {
+		return
+	}
+	s := w.d.s
+	switch diff := cnt[0] - cnt[1]; {
+	case diff >= 2:
+		w.expandSlice(depth, c, graph.AttrA, false, cnt)
+	case diff <= -1:
+		w.expandSlice(depth, c, graph.AttrB, false, cnt)
+	case diff == 0:
+		w.expandSlice(depth, c, graph.AttrA, false, cnt)
+		if cnt[0] >= s.k {
+			w.expandSlice(depth, c, graph.AttrB, true, cnt) // declare side a complete
+		}
+	default: // diff == 1
+		w.expandSlice(depth, c, graph.AttrB, false, cnt)
+		if cnt[1] >= s.k {
+			w.expandSlice(depth, c, graph.AttrA, true, cnt) // declare side b complete
+		}
+	}
+}
+
+func (w *worker) expandSlice(depth int, c []int32, attr graph.Attr, declare bool, cnt [2]int32) {
+	d := w.d
+	s := d.s
+	if w.collect != nil && depth == 0 {
+		for _, u := range c {
+			if d.comp.Attr(u) == attr {
+				w.collect = append(w.collect, u)
+			}
+		}
+		return
+	}
+	ncnt := cnt
+	ncnt[attr]++
+	for _, u := range c {
+		if d.comp.Attr(u) != attr {
+			continue
+		}
+		if s.aborted.Load() {
 			return
 		}
-		mid := (lo + hi) / 2
-		rec(lo, mid)
-		rec(mid, hi)
-		i, j, k := lo, mid, lo
-		for i < mid && j < hi {
-			if rank[vs[j]] < rank[vs[i]] {
-				tmp[k] = vs[j]
-				j++
-			} else {
-				tmp[k] = vs[i]
-				i++
-			}
-			k++
-		}
-		copy(tmp[k:], vs[i:mid])
-		copy(tmp[k+mid-i:hi], vs[j:hi])
-		copy(vs[lo:hi], tmp[lo:hi])
+		w.ensureSlice(depth+1, len(c))
+		child, avail := w.makeChildSlice(depth+1, c, u, declare)
+		w.rbuf[depth] = u
+		w.branchSlice(depth+1, child, ncnt, avail)
 	}
-	rec(0, len(vs))
 }
 
 func identity(n int32) []int32 {

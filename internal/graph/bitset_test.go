@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"testing"
+
+	"fairclique/internal/rng"
+)
+
+func randomGraphForBits(seed uint64, n int, p float64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestAdjacencyBitMatrix(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraphForBits(seed, 70, 0.3)
+		m := AdjacencyBitMatrix(g)
+		for u := int32(0); u < g.N(); u++ {
+			if got := BitCount(m.Row(u)); got != g.Deg(u) {
+				t.Fatalf("row %d popcount %d, deg %d", u, got, g.Deg(u))
+			}
+			for v := int32(0); v < g.N(); v++ {
+				if m.Test(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("bit (%d,%d) = %v, HasEdge = %v", u, v, m.Test(u, v), g.HasEdge(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestBitRowHelpers(t *testing.T) {
+	row := make([]uint64, BitWords(130))
+	BitFillN(row, 130)
+	if got := BitCount(row); got != 130 {
+		t.Fatalf("BitFillN(130) popcount %d", got)
+	}
+	if BitTest(row, 129) != true {
+		t.Fatal("bit 129 should be set")
+	}
+	// Tail bits beyond n must stay clear.
+	if row[2]>>2 != 0 {
+		t.Fatal("tail bits set past n")
+	}
+
+	var mask [3]uint64
+	BitHighMask(mask[:], 70)
+	for i := int32(0); i < 192; i++ {
+		want := i >= 70
+		if BitTest(mask[:], i) != want {
+			t.Fatalf("high mask bit %d = %v, want %v", i, !want, want)
+		}
+	}
+
+	var got []int32
+	BitForEach(row, func(i int32) { got = append(got, i) })
+	if len(got) != 130 || got[0] != 0 || got[129] != 129 {
+		t.Fatalf("BitForEach visited %d bits", len(got))
+	}
+	appended := BitAppend(nil, row)
+	if len(appended) != 130 || appended[64] != 64 {
+		t.Fatalf("BitAppend wrong: len %d", len(appended))
+	}
+}
+
+func TestPermuteMatchesInduce(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomGraphForBits(seed, 40, 0.3)
+		r := rng.New(seed + 77)
+		order := make([]int32, g.N())
+		for i := range order {
+			order[i] = int32(i)
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		want := Induce(g, order).G
+		got := Permute(g, order)
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("size mismatch: %d/%d vs %d/%d", got.N(), got.M(), want.N(), want.M())
+		}
+		for v := int32(0); v < got.N(); v++ {
+			if got.Attr(v) != want.Attr(v) {
+				t.Fatalf("attr mismatch at %d", v)
+			}
+			for w := int32(0); w < got.N(); w++ {
+				if got.HasEdge(v, w) != want.HasEdge(v, w) {
+					t.Fatalf("edge (%d,%d) mismatch", v, w)
+				}
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCSRScratchMatchesInduce(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := randomGraphForBits(seed, 50, 0.25)
+		r := rng.New(seed + 100)
+		// Random disjoint split: some vertices in set A, some in B.
+		var a, b []int32
+		for v := int32(0); v < g.N(); v++ {
+			switch r.Intn(3) {
+			case 0:
+				a = append(a, v)
+			case 1:
+				b = append(b, v)
+			}
+		}
+		var sc CSRScratch
+		// Twice, to exercise scratch reuse across epochs.
+		for pass := 0; pass < 2; pass++ {
+			sc.InduceView(g, a, b)
+			vs := append(append([]int32(nil), a...), b...)
+			want := Induce(g, vs)
+			if sc.N() != want.G.N() {
+				t.Fatalf("view size %d, induced %d", sc.N(), want.G.N())
+			}
+			for i := int32(0); i < sc.N(); i++ {
+				if sc.Verts[i] != want.ToParent[i] {
+					t.Fatalf("vertex map mismatch at %d", i)
+				}
+				if sc.Deg(i) != want.G.Deg(i) {
+					t.Fatalf("degree mismatch at %d: view %d, induced %d", i, sc.Deg(i), want.G.Deg(i))
+				}
+				for _, j := range sc.Row(i) {
+					if !want.G.HasEdge(i, j) {
+						t.Fatalf("view edge (%d,%d) missing from induced graph", i, j)
+					}
+				}
+			}
+		}
+	}
+}
