@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-full
+.PHONY: build test test-race race bench bench-check bench-full
 
 build:
 	$(GO) build ./...
@@ -11,17 +11,26 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine's parallel paths under the race detector.
-race:
-	$(GO) test -race ./internal/core ./internal/bounds
+# The engine's parallel paths — root split, subtree work donation and
+# the chunked-row kernels — under the race detector.
+test-race:
+	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph
+
+race: test-race
 
 # Regenerate BENCH_core.json: nodes/sec, allocs/node and the Workers
-# 1-vs-4 wall-clock comparison of the branch-and-bound engine on a
-# single-giant-component graph. Future engine PRs compare against the
-# committed record.
+# 1-vs-4 wall-clock comparison of the branch-and-bound engine on the
+# >4096-vertex single-component instance (chunked candidate rows).
+# Future engine PRs compare against the committed record (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
 	@cat BENCH_core.json
+
+# Re-measure and diff against the committed BENCH_core.json: prints a
+# per-workers delta table and fails loudly when nodes/sec regresses by
+# more than 10% on the same instance.
+bench-check:
+	$(GO) run ./cmd/benchmark -exp core -baseline BENCH_core.json -out /tmp/BENCH_core.new.json
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

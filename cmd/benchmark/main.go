@@ -32,6 +32,7 @@ func main() {
 		out      = flag.String("out", "", "output path (default stdout)")
 		format   = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
 		maxNodes = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
+		baseline = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	if *exp == "core" {
 		// The engine benchmark is JSON-only regardless of -format: it is
 		// a machine-readable perf record, not a paper table.
-		if err := bench.WriteCoreBench(cfg, w); err != nil {
+		if err := bench.WriteCoreBench(cfg, w, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
 			os.Exit(1)
 		}

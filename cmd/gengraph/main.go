@@ -8,7 +8,13 @@
 //	gengraph -model ba -n 5000 -m 8 -seed 7 -out g.txt
 //	gengraph -model er -n 1000 -m 5000 -out g.txt
 //	gengraph -model team -n 4000 -teams 3000 -mean 4 -out g.txt
+//	gengraph -model bigcomp -n 5200 -core 230 -corep 0.5 -out g.txt
 //	gengraph -list
+//
+// The bigcomp model emits a single connected component guaranteed to
+// exceed 4096 vertices (a dense nucleus welded to a long alternating
+// cycle), the instance class the chunked branch-and-bound engine and
+// its benchmarks use to exercise multi-chunk candidate rows.
 package main
 
 import (
@@ -25,13 +31,15 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "", "named benchmark stand-in (see -list)")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
-		model   = flag.String("model", "", "raw model: er, ba, ws, team, sbm")
+		model   = flag.String("model", "", "raw model: er, ba, ws, team, sbm, bigcomp")
 		n       = flag.Int("n", 1000, "number of vertices")
 		m       = flag.Int("m", 4, "edges (er: total; ba: per vertex; ws: half-neighbourhood)")
 		teams   = flag.Int("teams", 800, "team count (team model)")
 		mean    = flag.Float64("mean", 4, "mean team size (team model)")
 		beta    = flag.Float64("beta", 0.1, "rewire probability (ws model)")
 		blocks  = flag.Int("blocks", 10, "community count (sbm model)")
+		core    = flag.Int("core", 230, "dense nucleus size (bigcomp model)")
+		corep   = flag.Float64("corep", 0.5, "nucleus edge probability (bigcomp model)")
 		pin     = flag.Float64("pin", 0.1, "intra-community probability (sbm)")
 		pout    = flag.Float64("pout", 0.001, "inter-community probability (sbm)")
 		pA      = flag.Float64("pa", 0.5, "probability of attribute a")
@@ -58,6 +66,20 @@ func main() {
 			fatal(err)
 		}
 		g = d.Build(*scale)
+	case *model == "bigcomp":
+		// Attributes are part of the model (alternating shell), so the
+		// uniform assignment below is skipped.
+		shell := *n - *core
+		if *n <= graph.ChunkBits {
+			fatal(fmt.Errorf("bigcomp needs -n > %d so the component crosses the chunk boundary (got -n %d)", graph.ChunkBits, *n))
+		}
+		if *core < 3 {
+			fatal(fmt.Errorf("bigcomp needs -core >= 3 for the nucleus (got -core %d)", *core))
+		}
+		if shell < 3 {
+			fatal(fmt.Errorf("bigcomp needs -n >= -core + 3 for the cycle shell (got -n %d, -core %d)", *n, *core))
+		}
+		g = gen.BigComponent(*seed, *core, *corep, shell)
 	case *model != "":
 		var base *graph.Graph
 		switch *model {

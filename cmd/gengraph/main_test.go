@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"fairclique"
+	"fairclique/internal/graph"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -64,6 +65,9 @@ func TestCLIModels(t *testing.T) {
 		}
 		os.Remove(path)
 	}
+	if _, err := runCLI(t, "-model", "bigcomp", "-n", "1000"); err == nil {
+		t.Fatal("bigcomp below the 4096-vertex cap should fail")
+	}
 	if _, err := runCLI(t, "-model", "nope"); err == nil {
 		t.Fatal("unknown model should fail")
 	}
@@ -72,5 +76,44 @@ func TestCLIModels(t *testing.T) {
 	}
 	if _, err := runCLI(t); err == nil {
 		t.Fatal("no arguments should fail with usage")
+	}
+}
+
+// The bigcomp preset must emit a reproducible single-component instance
+// that crosses the 4096-vertex chunk boundary — the instance class the
+// chunked engine's cap-lift tests and benchmarks rely on.
+func TestCLIBigComponentPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"-model", "bigcomp", "-n", "4300", "-core", "60", "-seed", "3"}
+	p1 := filepath.Join(dir, "a.txt")
+	p2 := filepath.Join(dir, "b.txt")
+	for _, p := range []string{p1, p2} {
+		if out, err := runCLI(t, append(args, "-out", p)...); err != nil {
+			t.Fatalf("gengraph bigcomp failed: %v\n%s", err, out)
+		}
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("bigcomp output not reproducible across runs")
+	}
+	g, err := graph.Read(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() <= 4096 {
+		t.Fatalf("bigcomp emitted %d vertices; want > 4096", g.N())
+	}
+	if comps := graph.ConnectedComponents(g); len(comps) != 1 {
+		t.Fatalf("bigcomp emitted %d components; want 1", len(comps))
 	}
 }

@@ -2,19 +2,24 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
 	"fairclique/internal/core"
+	"fairclique/internal/gen"
 	"fairclique/internal/graph"
-	"fairclique/internal/rng"
 )
 
 // CoreBenchGraph describes the benchmark instance of the core engine
-// benchmark: a dense random graph that is one giant connected
-// component, the worst case for component-level parallelism and
-// therefore the case the intra-component root split must win on.
+// benchmark: a single connected component with more than 4096 vertices
+// (a dense nucleus carrying the branching workload, welded to a long
+// alternating cycle), so every measured run exercises the chunked
+// multi-chunk candidate rows — the regime the old fixed bitset silently
+// fell back to slices on — while remaining the worst case for
+// component-level parallelism (one giant component).
 type CoreBenchGraph struct {
 	Name     string `json:"name"`
 	Vertices int32  `json:"vertices"`
@@ -43,33 +48,11 @@ type CoreBenchResult struct {
 }
 
 // coreBenchInstance builds the deterministic single-giant-component
-// instance: G(n, p) at this density is connected with overwhelming
-// probability; the builder retries denser until it is.
+// instance — gen.BigComponentGiant, the definition shared with the
+// chunked-vs-slice benchmark in internal/core.
 func coreBenchInstance(scale float64) (*graph.Graph, CoreBenchGraph) {
-	n := int(230 * scale)
-	if n < 40 {
-		n = 40
-	}
-	p := 0.5
-	for {
-		r := rng.New(20260729)
-		b := graph.NewBuilder(n)
-		for v := 0; v < n; v++ {
-			b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
-		}
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				if r.Bool(p) {
-					b.AddEdge(int32(u), int32(v))
-				}
-			}
-		}
-		g := b.Build()
-		if len(graph.ConnectedComponents(g)) == 1 {
-			return g, CoreBenchGraph{Name: "gnp-giant", Vertices: g.N(), Edges: g.M()}
-		}
-		p += 0.05
-	}
+	g := gen.BigComponentGiant(scale)
+	return g, CoreBenchGraph{Name: "bigcomp-giant", Vertices: g.N(), Edges: g.M()}
 }
 
 // CoreBench measures the branch-and-bound engine on the giant-component
@@ -117,9 +100,77 @@ func CoreBench(cfg Config) CoreBenchResult {
 	return res
 }
 
-// WriteCoreBench runs CoreBench and writes the JSON record.
-func WriteCoreBench(cfg Config, w io.Writer) error {
+// WriteCoreBench runs CoreBench and writes the JSON record. When
+// baselinePath is non-empty the fresh result is also compared against
+// the committed record at that path (see CompareCoreBench); a >10%
+// nodes/sec regression is returned as an error so `make bench-check`
+// fails loudly.
+func WriteCoreBench(cfg Config, w io.Writer, baselinePath string) error {
+	res := CoreBench(cfg)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(CoreBench(cfg))
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	baseline, err := LoadCoreBench(baselinePath)
+	if err != nil {
+		return fmt.Errorf("load baseline: %w", err)
+	}
+	return CompareCoreBench(baseline, res, os.Stderr)
+}
+
+// LoadCoreBench reads a committed BENCH_core.json record.
+func LoadCoreBench(path string) (CoreBenchResult, error) {
+	var res CoreBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	return res, json.Unmarshal(data, &res)
+}
+
+// coreBenchRegressionTolerance is the nodes/sec fraction below the
+// baseline at which CompareCoreBench reports a regression.
+const coreBenchRegressionTolerance = 0.10
+
+// CompareCoreBench prints a delta table of current vs baseline and
+// returns an error when any matching workers configuration regresses
+// nodes/sec by more than coreBenchRegressionTolerance. Records from a
+// different instance (the benchmark graph changed between commits) are
+// reported but not gated — the numbers would not be comparable.
+func CompareCoreBench(baseline, current CoreBenchResult, w io.Writer) error {
+	if baseline.Graph != current.Graph {
+		fmt.Fprintf(w, "bench-check: baseline instance %s (%dv/%de) differs from current %s (%dv/%de); regression gate skipped\n",
+			baseline.Graph.Name, baseline.Graph.Vertices, baseline.Graph.Edges,
+			current.Graph.Name, current.Graph.Vertices, current.Graph.Edges)
+		return nil
+	}
+	base := make(map[int]CoreBenchRun, len(baseline.Runs))
+	for _, run := range baseline.Runs {
+		base[run.Workers] = run
+	}
+	fmt.Fprintf(w, "bench-check: %s (%d vertices, %d edges)\n",
+		current.Graph.Name, current.Graph.Vertices, current.Graph.Edges)
+	fmt.Fprintf(w, "%-8s %16s %16s %8s\n", "workers", "baseline nodes/s", "current nodes/s", "delta")
+	var regressed []int
+	for _, run := range current.Runs {
+		b, ok := base[run.Workers]
+		if !ok || b.NodesPerSec <= 0 {
+			fmt.Fprintf(w, "%-8d %16s %16.0f %8s\n", run.Workers, "-", run.NodesPerSec, "new")
+			continue
+		}
+		delta := run.NodesPerSec/b.NodesPerSec - 1
+		fmt.Fprintf(w, "%-8d %16.0f %16.0f %+7.1f%%\n", run.Workers, b.NodesPerSec, run.NodesPerSec, 100*delta)
+		if delta < -coreBenchRegressionTolerance {
+			regressed = append(regressed, run.Workers)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bench-check: nodes/sec regressed >%.0f%% vs baseline for workers %v",
+			100*coreBenchRegressionTolerance, regressed)
+	}
+	return nil
 }

@@ -3,12 +3,18 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
+
+	"fairclique/internal/graph"
 )
 
 func TestCoreBenchSmoke(t *testing.T) {
+	// Scale 1 on purpose: it is the configuration BENCH_core.json is
+	// recorded at, so the allocs/node acceptance bound is meaningful
+	// (smaller scales have too few nodes to amortize component setup).
 	var buf bytes.Buffer
-	if err := WriteCoreBench(Config{Scale: 0.3}, &buf); err != nil {
+	if err := WriteCoreBench(Config{Scale: 1}, &buf, ""); err != nil {
 		t.Fatal(err)
 	}
 	var res CoreBenchResult
@@ -29,5 +35,54 @@ func TestCoreBenchSmoke(t *testing.T) {
 	}
 	if res.SpeedupW4OverW1 <= 0 {
 		t.Fatalf("speedup not computed: %+v", res)
+	}
+	// The perf record must be measured on a cap-crossing instance: the
+	// acceptance criterion is nodes/sec on a >4096-vertex component.
+	if res.Graph.Vertices <= graph.ChunkBits {
+		t.Fatalf("bench instance has %d vertices; want > %d", res.Graph.Vertices, graph.ChunkBits)
+	}
+	for _, run := range res.Runs {
+		if run.AllocsPerNode > 0.01 {
+			t.Fatalf("workers=%d: %.4f allocs/node; want <= 0.01", run.Workers, run.AllocsPerNode)
+		}
+	}
+}
+
+// The regression gate: >10% nodes/sec drops fail, smaller wobble and
+// instance changes do not.
+func TestCompareCoreBench(t *testing.T) {
+	mk := func(w1, w4 float64) CoreBenchResult {
+		return CoreBenchResult{
+			Graph: CoreBenchGraph{Name: "bigcomp-giant", Vertices: 5000, Edges: 20000},
+			Runs: []CoreBenchRun{
+				{Workers: 1, NodesPerSec: w1},
+				{Workers: 4, NodesPerSec: w4},
+			},
+		}
+	}
+	var out bytes.Buffer
+	if err := CompareCoreBench(mk(1e6, 1e6), mk(0.95e6, 1.1e6), &out); err != nil {
+		t.Fatalf("5%% wobble flagged as regression: %v", err)
+	}
+	if !strings.Contains(out.String(), "workers") {
+		t.Fatalf("no delta table emitted:\n%s", out.String())
+	}
+	out.Reset()
+	err := CompareCoreBench(mk(1e6, 1e6), mk(0.85e6, 1e6), &out)
+	if err == nil {
+		t.Fatal("15% regression not flagged")
+	}
+	if !strings.Contains(err.Error(), "[1]") {
+		t.Fatalf("regression error should name workers=1: %v", err)
+	}
+	// A changed instance cannot be compared; the gate is skipped.
+	out.Reset()
+	other := mk(0.1e6, 0.1e6)
+	other.Graph.Name = "gnp-giant"
+	if err := CompareCoreBench(other, mk(1e6, 1e6), &out); err != nil {
+		t.Fatalf("instance mismatch should skip the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Fatalf("instance mismatch not reported:\n%s", out.String())
 	}
 }

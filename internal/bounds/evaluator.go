@@ -52,6 +52,19 @@ type Evaluator struct {
 	// Colorful path DP scratch.
 	rank []int32
 	f    []int32
+
+	// Candidate-row decode scratch (EvaluateRow).
+	cbuf []int32
+}
+
+// EvaluateRow is Evaluate with the candidate set C given as a chunked
+// candidate row instead of a slice: the row is decoded into internal
+// scratch (live chunks only), so the branch engine's bitset path needs
+// no decode buffer of its own and steady-state evaluation stays
+// allocation-free.
+func (e *Evaluator) EvaluateRow(g *graph.Graph, r []int32, c graph.LiveRow, delta int32, extra Extra) int32 {
+	e.cbuf = c.Append(e.cbuf[:0])
+	return e.Evaluate(g, r, e.cbuf, delta, extra)
 }
 
 // Evaluate computes the same value as the package-level Evaluate on the

@@ -5,6 +5,7 @@ import (
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/enum"
+	"fairclique/internal/gen"
 	"fairclique/internal/graph"
 )
 
@@ -23,7 +24,7 @@ func newWarmEngine(t testing.TB, g *graph.Graph, opt Options) (*searcher, *worke
 		t.Fatalf("test graph has %d components, want 1", len(comps))
 	}
 	d := s.newCompData(comps[0])
-	if d.words == 0 {
+	if d.succ == nil {
 		t.Fatalf("component of %d vertices fell back to the slice path", d.n)
 	}
 	w := newWorker(d)
@@ -35,21 +36,40 @@ func newWarmEngine(t testing.TB, g *graph.Graph, opt Options) (*searcher, *worke
 	return s, w
 }
 
-// Steady-state branching must allocate zero heap objects per node on a
-// bitset-eligible component — the acceptance criterion of the
-// allocation-free engine. Checked for the plain baseline and for the
-// default bounds configuration (whose evaluator runs scratch-backed).
+// Steady-state branching must allocate zero heap objects per node —
+// the acceptance criterion of the allocation-free engine. Checked for
+// the plain baseline and the default bounds configuration (whose
+// evaluator runs scratch-backed), on both a single-chunk component and
+// a multi-chunk >4096-vertex component (dense, sparse and run
+// containers all in play), and with the work-stealing state installed:
+// the donation hook on the hot path is a single atomic load and must
+// not allocate while no worker is hungry.
 func TestBranchSteadyStateZeroAllocs(t *testing.T) {
-	g := random(42, 80, 0.4)
+	small := random(42, 80, 0.4)
+	big := gen.BigComponent(42, 36, 0.5, graph.ChunkBits+120)
 	for _, tc := range []struct {
-		name string
-		opt  Options
+		name  string
+		g     *graph.Graph
+		opt   Options
+		steal bool
 	}{
-		{"plain", Options{K: 2, Delta: 1}},
-		{"bounds", Options{K: 2, Delta: 1, UseBounds: true, Extra: bounds.ColorfulDegeneracy}},
+		{"plain", small, Options{K: 2, Delta: 1}, false},
+		{"bounds", small, Options{K: 2, Delta: 1, UseBounds: true, Extra: bounds.ColorfulDegeneracy}, false},
+		{"multichunk-plain", big, Options{K: 2, Delta: 1}, false},
+		{"multichunk-bounds", big, Options{K: 2, Delta: 1, UseBounds: true, Extra: bounds.ColorfulDegeneracy}, false},
+		{"steal-config", small, Options{K: 2, Delta: 1, Workers: 2}, true},
+		{"multichunk-steal", big, Options{K: 2, Delta: 1, Workers: 2}, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			_, w := newWarmEngine(t, g, tc.opt)
+			_, w := newWarmEngine(t, tc.g, tc.opt)
+			if tc.name[:4] == "mult" && w.d.words <= graph.ChunkWords {
+				t.Fatalf("multichunk fixture spans %d words; want > %d", w.d.words, graph.ChunkWords)
+			}
+			if tc.steal {
+				// The Workers > 1 configuration: steal state present, no
+				// waiter. Every branch pays exactly one atomic load.
+				w.d.steal = newStealState(tc.opt.Workers)
+			}
 			avg := testing.AllocsPerRun(20, func() {
 				w.branchRoot()
 			})
@@ -78,12 +98,13 @@ func BenchmarkBranchAllocs(b *testing.B) {
 	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
 }
 
-// The slice fallback path (components above adjBitsetLimit) must agree
-// with the Bron–Kerbosch oracle; forced by shrinking the limit to 0.
+// The slice oracle path must agree with the Bron–Kerbosch oracle, so
+// it stays trustworthy as the differential-test reference for the
+// chunked engine.
 func TestSlicePathMatchesOracle(t *testing.T) {
-	old := adjBitsetLimit
-	adjBitsetLimit = 0
-	defer func() { adjBitsetLimit = old }()
+	old := useSliceOracle
+	useSliceOracle = true
+	defer func() { useSliceOracle = old }()
 
 	for seed := uint64(0); seed < 8; seed++ {
 		g := random(seed, 32, 0.35)

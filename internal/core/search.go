@@ -15,18 +15,23 @@
 // # Performance architecture
 //
 // The branch-and-bound hot path is an allocation-free, bitset-native
-// engine:
+// engine with no component-size cap:
 //
 //   - Each connected component is relabeled so that vertex id equals
 //     its CalColorOD peel rank. The "same-attribute, later-rank"
 //     branching rule (correction 1) then becomes a plain id
 //     comparison, and candidate sets iterated in id order are already
 //     in peel order.
-//   - When a component has at most adjBitsetLimit vertices, candidate
-//     sets are packed bitsets. A precomputed per-vertex successor mask
-//     (adjacency AND (same-attribute-later OR other-attribute)) turns
-//     child-candidate construction into a word-level AND with fused
-//     per-attribute popcounts, instead of a per-candidate loop.
+//   - Candidate sets are graph.LiveRow values: flat packed bitsets
+//     paired with a chunk-liveness bitmap, so per-node work scales
+//     with the chunks a vertex actually touches, not with the
+//     component size. The per-vertex successor masks (adjacency AND
+//     (same-attribute-later OR other-attribute)) live in a
+//     graph.ChunkedMatrix — roaring-style dense/sparse/run containers
+//     per 4096-bit chunk — which replaces the old dense BitMatrix and
+//     its 4096-vertex fast-path cap. Child-candidate construction is
+//     one ChunkedMatrix.AndInto call with fused per-attribute
+//     popcounts.
 //   - All per-node state lives in per-worker arenas indexed by search
 //     depth: the clique buffer rbuf, one candidate row (or slice) per
 //     depth, and the bound evaluator's scratch. Steady-state branching
@@ -35,16 +40,21 @@
 //   - Upper bounds (internal/bounds) are evaluated on (component, R, C)
 //     views through bounds.Evaluator, which rebuilds the instance CSR
 //     into reusable scratch rather than materializing an induced
-//     subgraph per check.
+//     subgraph per check; candidate rows are handed over as LiveRow
+//     values via Evaluator.EvaluateRow.
 //   - Options.Workers > 1 parallelizes *inside* a component: the
 //     branches of the root node are split across workers that share
-//     the atomic incumbent, so parallelism helps even when the reduced
-//     graph is one giant connected component (the common case on real
-//     networks). Node counting is batched per worker to keep the
-//     shared counters off the hot path.
+//     the atomic incumbent, and once the root branches run dry, idle
+//     workers are fed by subtree-level work donation — a busy worker
+//     that notices a waiter ships the frontier node it was about to
+//     branch into (R prefix, counts and candidate row) instead of
+//     recursing, so deep-left trees no longer starve the pool late in
+//     a run. Node counting is batched per worker to keep the shared
+//     counters off the hot path.
 //
-// Open follow-ups are tracked in ROADMAP.md (SIMD-friendly popcount
-// batching, NUMA-aware work stealing across components).
+// The old binary-search slice path survives only as a differential-test
+// oracle behind the test-only useSliceOracle flag. Remaining follow-ups
+// are tracked in ROADMAP.md (SIMD-friendly popcount batching).
 package core
 
 import (
@@ -93,10 +103,12 @@ type Options struct {
 	// Workers sets the number of goroutines branching concurrently.
 	// Parallelism is intra-component: the root-level branches of each
 	// component are split across workers sharing the atomic incumbent,
-	// so Workers > 1 helps even when the reduced graph is a single
-	// giant component. 0 or 1 searches serially (fully deterministic).
-	// With more workers the optimum size is still exact, but which of
-	// several equally-sized cliques is returned may vary between runs.
+	// and idle workers are re-fed by subtree work donation, so
+	// Workers > 1 helps even when the reduced graph is a single giant
+	// component with a skewed tree. 0 or 1 searches serially (fully
+	// deterministic). With more workers the optimum size is still
+	// exact, but which of several equally-sized cliques is returned
+	// may vary between runs.
 	Workers int
 }
 
@@ -107,6 +119,9 @@ type Stats struct {
 	// BoundChecks counts expensive bound evaluations; BoundPrunes counts
 	// how many of them pruned their node.
 	BoundChecks, BoundPrunes int64
+	// Donations counts subtree nodes shipped from busy workers to idle
+	// ones (0 for serial runs).
+	Donations int64
 	// ReducedVertices/ReducedEdges is the graph size after reduction.
 	ReducedVertices, ReducedEdges int32
 	// Components is the number of connected components searched.
@@ -223,6 +238,7 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 	res.Stats.Nodes = s.nodes.Load()
 	res.Stats.BoundChecks = s.boundChecks.Load()
 	res.Stats.BoundPrunes = s.boundPrunes.Load()
+	res.Stats.Donations = s.donations.Load()
 	res.Stats.Aborted = s.aborted.Load()
 	if s.best != nil {
 		res.Clique = make([]int32, len(s.best))
@@ -248,6 +264,7 @@ type searcher struct {
 	nodes       atomic.Int64
 	boundChecks atomic.Int64
 	boundPrunes atomic.Int64
+	donations   atomic.Int64
 	aborted     atomic.Bool
 }
 
@@ -262,10 +279,11 @@ func (s *searcher) record(r []int32, toWork []int32) {
 	}
 }
 
-// adjBitsetLimit caps bitset adjacency at 4096 vertices (the
-// precomputed successor matrix is then at most 2 MiB). A variable so
-// tests can force the slice fallback path.
-var adjBitsetLimit int32 = 4096
+// useSliceOracle forces the legacy binary-search slice path for every
+// component. It exists only so differential tests can run the chunked
+// bitset engine against the independent slice implementation; the
+// production path is always chunked, with no component-size cap.
+var useSliceOracle = false
 
 // smallComponentLimit is the size below which a component is searched
 // by a single worker from the cross-component pool instead of being
@@ -283,18 +301,21 @@ type compData struct {
 	n      int32
 	cnt    [2]int32 // attribute counts of the whole component
 
-	// Bitset representation (nil/0 when n > adjBitsetLimit).
-	words    int32            // words per row
-	succ     *graph.BitMatrix // per-vertex branch-successor masks
-	attrMask [2][]uint64      // vertices of each attribute
-	fullRow  []uint64         // all n bits set: the root candidate set
+	// Chunked bitset representation (zero when useSliceOracle forces
+	// the test-only slice path).
+	words    int32                // flat words per candidate row
+	succ     *graph.ChunkedMatrix // per-vertex branch-successor masks
+	attrMask [2][]uint64          // vertices of each attribute
+	fullRow  graph.LiveRow        // all n bits set: the root candidate set
 
-	allVerts []int32 // 0..n-1: the root candidate slice (fallback path)
+	allVerts []int32 // 0..n-1: the root candidate slice (oracle path)
+
+	steal *stealState // subtree work donation; nil when searched serially
 }
 
 // newCompData induces comp from the reduced graph and relabels it by
 // CalColorOD peel rank (Algorithm 2 line 9), then precomputes the
-// bitset machinery when the component is small enough.
+// chunked bitset machinery (or the slice oracle's vertex list).
 func (s *searcher) newCompData(comp []int32) *compData {
 	sub := graph.Induce(s.g, comp)
 	col := color.Greedy(sub.G)
@@ -316,30 +337,32 @@ func (s *searcher) newCompData(comp []int32) *compData {
 		d.cnt[d.comp.Attr(v)]++
 	}
 
-	if n <= adjBitsetLimit {
+	if !useSliceOracle {
 		d.words = graph.BitWords(n)
-		adj := graph.AdjacencyBitMatrix(d.comp) // local: only succ survives
 		d.attrMask[0] = make([]uint64, d.words)
 		d.attrMask[1] = make([]uint64, d.words)
 		for v := int32(0); v < n; v++ {
 			graph.BitSet(d.attrMask[d.comp.Attr(v)], v)
 		}
-		d.fullRow = make([]uint64, d.words)
-		graph.BitFillN(d.fullRow, n)
+		d.fullRow = graph.NewLiveRow(n)
+		d.fullRow.FillN(n)
 		// succ[u] = N(u) ∩ (same-attribute vertices after u ∪ the other
 		// attribute): exactly the vertices expand may keep in u's child.
-		d.succ = graph.NewBitMatrix(n, n)
-		later := make([]uint64, d.words)
+		// Built row by row from the sorted adjacency lists, so no dense
+		// n×n matrix is ever materialized and there is no size cap.
+		cb := graph.NewChunkedBuilder(n, n)
+		var buf []int32
 		for u := int32(0); u < n; u++ {
-			graph.BitHighMask(later, u+1)
-			row := adj.Row(u)
-			same := d.attrMask[d.comp.Attr(u)]
-			other := d.attrMask[d.comp.Attr(u).Other()]
-			dst := d.succ.Row(u)
-			for i := range dst {
-				dst[i] = row[i] & (same[i]&later[i] | other[i])
+			buf = buf[:0]
+			au := d.comp.Attr(u)
+			for _, v := range d.comp.Neighbors(u) {
+				if d.comp.Attr(v) != au || v > u {
+					buf = append(buf, v)
+				}
 			}
+			cb.AddRow(buf)
 		}
+		d.succ = cb.Build()
 	} else {
 		d.allVerts = make([]int32, n)
 		for i := range d.allVerts {
@@ -361,10 +384,9 @@ func (s *searcher) newCompData(comp []int32) *compData {
 type worker struct {
 	d *compData
 
-	rbuf []int32     // clique arena; rbuf[:depth] is R
-	cand [][]uint64  // bitset candidates, one row per depth; cand[0] is d.fullRow (never written)
-	cs   [][]int32   // slice candidates, one per depth (fallback path)
-	bc   []int32     // scratch: decoded candidate set for bound views
+	rbuf []int32         // clique arena; rbuf[:depth] is R
+	cand []graph.LiveRow // candidate rows, one per depth; cand[0] is d.fullRow (never written)
+	cs   [][]int32       // slice candidates, one per depth (oracle path)
 	ev   bounds.Evaluator
 
 	// collect, when non-nil, makes a depth-0 expand record the branch
@@ -386,7 +408,7 @@ func newWorker(d *compData) *worker {
 		// Keep the abort reasonably prompt when a cap is set.
 		w.flushEvery = 8
 	}
-	if d.words > 0 {
+	if d.succ != nil {
 		w.cand = append(w.cand, d.fullRow)
 	} else {
 		w.cs = append(w.cs, d.allVerts)
@@ -415,6 +437,105 @@ func (w *worker) flushNodes() {
 	}
 }
 
+// stealState coordinates subtree-level work donation inside one
+// root-split component. Busy workers poll the hungry counter (a single
+// atomic load per branch) and, when a waiter exists, ship the frontier
+// node they were about to branch into — R prefix, counts and a copy of
+// the candidate row — onto a LIFO queue instead of recursing. Task
+// buffers are recycled through a free list, so steady-state donation
+// does not allocate either.
+type stealState struct {
+	hungry atomic.Int32 // workers currently waiting for donated work
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	tasks []*subtreeTask // LIFO: most recently donated first
+	free  []*subtreeTask // recycled task buffers
+	busy  int            // workers currently branching (for termination)
+}
+
+// subtreeTask is one donated branch node: the complete state branchBits
+// needs to resume the subtree on another worker.
+type subtreeTask struct {
+	depth      int
+	r          []int32 // R of the node (length depth)
+	cnt, avail [2]int32
+	cand       graph.LiveRow
+}
+
+func newStealState(workers int) *stealState {
+	st := &stealState{busy: workers}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// donate publishes the child node the caller was about to branch into.
+// It reports false when no worker is actually waiting (the caller then
+// recurses as usual).
+func (st *stealState) donate(w *worker, depth int, cnt, avail [2]int32, cand graph.LiveRow) bool {
+	// Pop a recycled buffer under the lock, but do the O(row) copies
+	// outside it so concurrent donors and acquirers are not serialized
+	// behind a memcpy. Two donors racing past the demand check can
+	// over-donate by at most workers-1 tasks; acquire drains any
+	// surplus before declaring termination, so nothing is lost.
+	st.mu.Lock()
+	if int32(len(st.tasks)) >= st.hungry.Load() {
+		st.mu.Unlock()
+		return false
+	}
+	var t *subtreeTask
+	if n := len(st.free); n > 0 {
+		t = st.free[n-1]
+		st.free = st.free[:n-1]
+	}
+	st.mu.Unlock()
+	if t == nil {
+		t = &subtreeTask{cand: w.d.succ.NewRow()}
+	}
+	t.depth = depth
+	t.r = append(t.r[:0], w.rbuf[:depth]...)
+	t.cnt, t.avail = cnt, avail
+	cand.CopyInto(t.cand)
+	st.mu.Lock()
+	st.tasks = append(st.tasks, t)
+	st.cond.Signal()
+	st.mu.Unlock()
+	w.d.s.donations.Add(1)
+	return true
+}
+
+// acquire blocks until a donated subtree is available, returning nil
+// when the component is finished (every worker idle and the queue
+// empty) or the search aborted. Every worker exit path runs through
+// acquire so the busy count stays consistent.
+func (st *stealState) acquire(s *searcher) *subtreeTask {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.busy--
+	for {
+		if n := len(st.tasks); n > 0 && !s.aborted.Load() {
+			t := st.tasks[n-1]
+			st.tasks = st.tasks[:n-1]
+			st.busy++
+			return t
+		}
+		if st.busy == 0 || s.aborted.Load() {
+			st.cond.Broadcast()
+			return nil
+		}
+		st.hungry.Add(1)
+		st.cond.Wait()
+		st.hungry.Add(-1)
+	}
+}
+
+// release recycles a finished task's buffers.
+func (st *stealState) release(t *subtreeTask) {
+	st.mu.Lock()
+	st.free = append(st.free, t)
+	st.mu.Unlock()
+}
+
 // searchComponent branches one connected component, splitting the root
 // branches across the given number of workers when workers > 1.
 func (s *searcher) searchComponent(comp []int32, workers int) {
@@ -440,9 +561,6 @@ func (s *searcher) searchComponent(comp []int32, workers int) {
 		return
 	}
 
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 	if workers <= 1 {
 		// Serial: recurse into each root branch on the driver.
 		for _, u := range tasks {
@@ -454,9 +572,14 @@ func (s *searcher) searchComponent(comp []int32, workers int) {
 		driver.flushNodes()
 		return
 	}
-	// Parallel: workers pull root branches from a shared cursor. The
-	// branch prologue re-checks the incumbent, so branches queued
-	// behind a growing incumbent are pruned when claimed.
+	// Parallel: workers pull root branches from a shared cursor; once
+	// the cursor runs dry they are re-fed by subtree donation until the
+	// whole tree is exhausted. The branch prologue re-checks the
+	// incumbent, so branches queued behind a growing incumbent are
+	// pruned when claimed. Workers beyond the root-branch count are
+	// still useful — they start hungry and immediately receive donated
+	// subtrees.
+	d.steal = newStealState(workers)
 	var next atomic.Int32
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -469,20 +592,32 @@ func (s *searcher) searchComponent(comp []int32, workers int) {
 			defer wg.Done()
 			defer wk.flushNodes()
 			for {
-				t := next.Add(1) - 1
-				if int(t) >= len(tasks) || s.aborted.Load() {
+				// The Load guard keeps the cursor bounded (at most one
+				// overshoot per worker): without it, every donation
+				// cycle would Add once more and a long run could wrap
+				// the counter past the task count into negative indices.
+				if !s.aborted.Load() && int(next.Load()) < len(tasks) {
+					if t := next.Add(1) - 1; int(t) < len(tasks) {
+						wk.runRootBranch(tasks[t])
+						continue
+					}
+				}
+				task := d.steal.acquire(s)
+				if task == nil {
 					return
 				}
-				wk.runRootBranch(tasks[t])
+				wk.runStolen(task)
+				d.steal.release(task)
 			}
 		}(wk)
 	}
 	wg.Wait()
+	d.steal = nil
 }
 
 // branchRoot enters the root node: R = ∅, C = the whole component.
 func (w *worker) branchRoot() {
-	if w.d.words > 0 {
+	if w.d.succ != nil {
 		w.branchBits(0, [2]int32{}, w.d.cnt)
 	} else {
 		w.branchSlice(0, w.d.allVerts, [2]int32{}, w.d.cnt)
@@ -496,7 +631,7 @@ func (w *worker) runRootBranch(u int32) {
 	var cnt [2]int32
 	cnt[d.comp.Attr(u)]++
 	w.rbuf[0] = u
-	if d.words > 0 {
+	if d.succ != nil {
 		w.ensureBits(1)
 		avail := w.makeChildBits(w.cand[1], d.fullRow, u, false)
 		w.branchBits(1, cnt, avail)
@@ -507,10 +642,19 @@ func (w *worker) runRootBranch(u int32) {
 	}
 }
 
+// runStolen resumes a donated subtree on this worker: the task's R
+// prefix and candidate row are copied into the worker's own arenas.
+func (w *worker) runStolen(t *subtreeTask) {
+	copy(w.rbuf, t.r)
+	w.ensureBits(t.depth)
+	t.cand.CopyInto(w.cand[t.depth])
+	w.branchBits(t.depth, t.cnt, t.avail)
+}
+
 // ensureBits guarantees a candidate row exists for the given depth.
 func (w *worker) ensureBits(depth int) {
 	for len(w.cand) <= depth {
-		w.cand = append(w.cand, make([]uint64, w.d.words))
+		w.cand = append(w.cand, w.d.succ.NewRow())
 	}
 }
 
@@ -527,33 +671,19 @@ func (w *worker) ensureSlice(depth, need int) {
 
 // makeChildBits writes into dst the child candidate set of branching on
 // u from src: src ∩ succ(u), restricted to u's attribute when declare
-// is set. Per-attribute candidate counts are fused into the AND pass.
-func (w *worker) makeChildBits(dst, src []uint64, u int32, declare bool) [2]int32 {
+// is set. Per-attribute candidate counts are fused into the AND pass,
+// which touches only chunks live in src and stored for u.
+func (w *worker) makeChildBits(dst, src graph.LiveRow, u int32, declare bool) [2]int32 {
 	d := w.d
-	succ := d.succ.Row(u)
-	maskA := d.attrMask[0]
-	var avail [2]int32
+	var restrict []uint64
 	if declare {
-		am := d.attrMask[d.comp.Attr(u)]
-		for i := range dst {
-			cw := src[i] & succ[i] & am[i]
-			dst[i] = cw
-			avail[0] += int32(bits.OnesCount64(cw & maskA[i]))
-			avail[1] += int32(bits.OnesCount64(cw &^ maskA[i]))
-		}
-		return avail
+		restrict = d.attrMask[d.comp.Attr(u)]
 	}
-	for i := range dst {
-		cw := src[i] & succ[i]
-		dst[i] = cw
-		a := int32(bits.OnesCount64(cw & maskA[i]))
-		avail[0] += a
-		avail[1] += int32(bits.OnesCount64(cw)) - a
-	}
-	return avail
+	a, b := d.succ.AndInto(dst, src, u, restrict, d.attrMask[0])
+	return [2]int32{a, b}
 }
 
-// makeChildSlice is makeChildBits for the fallback path: it fills the
+// makeChildSlice is makeChildBits for the oracle path: it fills the
 // depth's candidate arena from src and returns it with the counts.
 func (w *worker) makeChildSlice(depth int, src []int32, u int32, declare bool) ([]int32, [2]int32) {
 	d := w.d
@@ -586,7 +716,7 @@ func (w *worker) makeChildSlice(depth int, src []int32, u int32, declare bool) (
 // (correction 9) and the expensive bounds at shallow depth (§VI). It
 // returns false when the node is pruned, and otherwise the expansion
 // sides via the count-difference state machine (correction 8).
-func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits []uint64, candSlice []int32) bool {
+func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits *graph.LiveRow, candSlice []int32) bool {
 	s := w.d.s
 	if s.aborted.Load() {
 		return false
@@ -614,12 +744,12 @@ func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits []uint64, can
 	}
 	if s.opt.UseBounds && depth <= s.opt.BoundDepth {
 		s.boundChecks.Add(1)
-		c := candSlice
+		var ub int32
 		if candBits != nil {
-			w.bc = graph.BitAppend(w.bc[:0], candBits)
-			c = w.bc
+			ub = w.ev.EvaluateRow(w.d.comp, w.rbuf[:depth], *candBits, s.delta, s.opt.Extra)
+		} else {
+			ub = w.ev.Evaluate(w.d.comp, w.rbuf[:depth], candSlice, s.delta, s.opt.Extra)
 		}
-		ub := w.ev.Evaluate(w.d.comp, w.rbuf[:depth], c, s.delta, s.opt.Extra)
 		if ub <= s.bestSize.Load() || ub < 2*s.k {
 			s.boundPrunes.Add(1)
 			return false
@@ -628,11 +758,12 @@ func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits []uint64, can
 	return true
 }
 
-// branchBits is one node of the search tree on the bitset path. The
-// candidates live in w.cand[depth], R in w.rbuf[:depth]. The expansion
-// sides follow the count-difference state machine (correction 8).
+// branchBits is one node of the search tree on the chunked bitset path.
+// The candidates live in w.cand[depth], R in w.rbuf[:depth]. The
+// expansion sides follow the count-difference state machine
+// (correction 8).
 func (w *worker) branchBits(depth int, cnt, avail [2]int32) {
-	if !w.prologue(depth, cnt, avail, w.cand[depth], nil) {
+	if !w.prologue(depth, cnt, avail, &w.cand[depth], nil) {
 		return
 	}
 	s := w.d.s
@@ -655,7 +786,9 @@ func (w *worker) branchBits(depth int, cnt, avail [2]int32) {
 }
 
 // expandBits branches on every candidate of the given attribute, in id
-// (= peel rank) order.
+// (= peel rank) order, visiting only the live chunks of the candidate
+// row. When another worker is hungry, the child node is donated to it
+// instead of being branched locally.
 func (w *worker) expandBits(depth int, attr graph.Attr, declare bool, cnt [2]int32) {
 	d := w.d
 	s := d.s
@@ -663,37 +796,52 @@ func (w *worker) expandBits(depth int, attr graph.Attr, declare bool, cnt [2]int
 	am := d.attrMask[attr]
 	if w.collect != nil && depth == 0 {
 		// Root split: record the branch vertices for the task queue.
-		for i := range src {
-			word := src[i] & am[i]
-			base := int32(i) << 6
-			for word != 0 {
-				w.collect = append(w.collect, base+int32(bits.TrailingZeros64(word)))
-				word &= word - 1
-			}
-		}
+		w.forEachLive(src, am, func(u int32) bool {
+			w.collect = append(w.collect, u)
+			return true
+		})
 		return
 	}
 	w.ensureBits(depth + 1)
 	dst := w.cand[depth+1]
 	ncnt := cnt
 	ncnt[attr]++
-	for i := range src {
-		word := src[i] & am[i]
-		base := int32(i) << 6
-		for word != 0 {
-			u := base + int32(bits.TrailingZeros64(word))
-			word &= word - 1
-			if s.aborted.Load() {
-				return
-			}
-			avail := w.makeChildBits(dst, src, u, declare)
-			w.rbuf[depth] = u
-			w.branchBits(depth+1, ncnt, avail)
+	st := d.steal
+	w.forEachLive(src, am, func(u int32) bool {
+		if s.aborted.Load() {
+			return false
 		}
-	}
+		avail := w.makeChildBits(dst, src, u, declare)
+		w.rbuf[depth] = u
+		if st != nil && avail[0]+avail[1] > 0 && st.hungry.Load() > 0 &&
+			st.donate(w, depth+1, ncnt, avail, dst) {
+			return true // the subtree went to an idle worker
+		}
+		w.branchBits(depth+1, ncnt, avail)
+		return true
+	})
 }
 
-// branchSlice is branchBits for components too large for bitset rows.
+// forEachLive calls fn for every bit of src ∧ mask in increasing id
+// order, skipping dead chunks. fn returning false stops the scan.
+func (w *worker) forEachLive(src graph.LiveRow, mask []uint64, fn func(u int32) bool) {
+	src.ForEachLiveChunk(func(w0, w1 int32) bool {
+		for wi := w0; wi < w1; wi++ {
+			word := src.Words[wi] & mask[wi]
+			base := wi << 6
+			for word != 0 {
+				if !fn(base + int32(bits.TrailingZeros64(word))) {
+					return false
+				}
+				word &= word - 1
+			}
+		}
+		return true
+	})
+}
+
+// branchSlice is branchBits on the oracle path (binary-search adjacency
+// tests over candidate slices).
 func (w *worker) branchSlice(depth int, c []int32, cnt, avail [2]int32) {
 	if !w.prologue(depth, cnt, avail, nil, c) {
 		return

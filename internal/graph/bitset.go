@@ -1,55 +1,12 @@
 package graph
 
-import "math/bits"
-
-// BitMatrix is a dense packed bitset matrix with one fixed-width row of
-// words per vertex. The branch-and-bound engine uses it for adjacency
-// rows and branch-successor masks so that candidate-set intersection is
-// a word-level AND instead of a per-candidate loop.
-type BitMatrix struct {
-	// Words is the row width in 64-bit words.
-	Words int32
-	rows  int32
-	bits  []uint64
-}
+// Packed-bitset primitives shared by the chunked candidate rows
+// (chunked.go) and the branch-and-bound engine. The old dense BitMatrix
+// that lived here was replaced by ChunkedMatrix when the engine's
+// 4096-vertex cap was lifted.
 
 // BitWords returns the number of 64-bit words needed for n bits.
 func BitWords(n int32) int32 { return (n + 63) / 64 }
-
-// NewBitMatrix returns a zeroed matrix of rows × BitWords(cols) words.
-func NewBitMatrix(rows, cols int32) *BitMatrix {
-	w := BitWords(cols)
-	return &BitMatrix{Words: w, rows: rows, bits: make([]uint64, int64(rows)*int64(w))}
-}
-
-// AdjacencyBitMatrix packs the adjacency of g into a BitMatrix: row v
-// has bit w set iff v and w are adjacent.
-func AdjacencyBitMatrix(g *Graph) *BitMatrix {
-	m := NewBitMatrix(g.N(), g.N())
-	for v := int32(0); v < g.N(); v++ {
-		row := m.Row(v)
-		for _, w := range g.Neighbors(v) {
-			row[w>>6] |= 1 << uint(w&63)
-		}
-	}
-	return m
-}
-
-// Row returns the packed bit row of v. Callers may read and write it.
-func (m *BitMatrix) Row(v int32) []uint64 {
-	off := int64(v) * int64(m.Words)
-	return m.bits[off : off+int64(m.Words) : off+int64(m.Words)]
-}
-
-// Set sets bit col in row v.
-func (m *BitMatrix) Set(v, col int32) {
-	m.bits[int64(v)*int64(m.Words)+int64(col>>6)] |= 1 << uint(col&63)
-}
-
-// Test reports bit col of row v.
-func (m *BitMatrix) Test(v, col int32) bool {
-	return m.bits[int64(v)*int64(m.Words)+int64(col>>6)]&(1<<uint(col&63)) != 0
-}
 
 // BitTest reports bit i of a packed row.
 func BitTest(row []uint64, i int32) bool {
@@ -71,53 +28,4 @@ func BitFillN(row []uint64, n int32) {
 	if rem := n & 63; rem != 0 {
 		row[full] = (1 << uint(rem)) - 1
 	}
-}
-
-// BitCount returns the number of set bits in the row.
-func BitCount(row []uint64) int32 {
-	var n int32
-	for _, w := range row {
-		n += int32(bits.OnesCount64(w))
-	}
-	return n
-}
-
-// BitHighMask writes into dst the mask of bits >= from (same width as
-// dst), i.e. dst = {from, from+1, ...} ∩ [0, 64*len(dst)).
-func BitHighMask(dst []uint64, from int32) {
-	word := from >> 6
-	for i := int32(0); i < int32(len(dst)); i++ {
-		switch {
-		case i < word:
-			dst[i] = 0
-		case i == word:
-			dst[i] = ^uint64(0) << uint(from&63)
-		default:
-			dst[i] = ^uint64(0)
-		}
-	}
-}
-
-// BitForEach calls fn for every set bit of row in increasing order.
-func BitForEach(row []uint64, fn func(i int32)) {
-	for wi, w := range row {
-		base := int32(wi) << 6
-		for w != 0 {
-			fn(base + int32(bits.TrailingZeros64(w)))
-			w &= w - 1
-		}
-	}
-}
-
-// BitAppend appends the indices of the set bits of row to dst and
-// returns the extended slice.
-func BitAppend(dst []int32, row []uint64) []int32 {
-	for wi, w := range row {
-		base := int32(wi) << 6
-		for w != 0 {
-			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
-			w &= w - 1
-		}
-	}
-	return dst
 }
