@@ -2,6 +2,10 @@
 # targets below bundle the verification and benchmarking recipes.
 
 GO ?= go
+# BENCH_SCALE shrinks the benchmark instance (CI smoke runs use 0.25;
+# a non-1.0 scale changes the instance, so the regression gate reports
+# and skips instead of comparing incomparable numbers).
+BENCH_SCALE ?= 1.0
 
 .PHONY: build test test-race race bench bench-check bench-full
 
@@ -11,26 +15,31 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine's parallel paths — root split, subtree work donation and
-# the chunked-row kernels — under the race detector.
+# The engine's parallel paths — root split, subtree work donation, the
+# chunked-row kernels and the session's concurrent grid — under the
+# race detector.
 test-race:
-	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph
+	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce
 
 race: test-race
 
 # Regenerate BENCH_core.json: nodes/sec, allocs/node and the Workers
 # 1-vs-4 wall-clock comparison of the branch-and-bound engine on the
-# >4096-vertex single-component instance (chunked candidate rows).
-# Future engine PRs compare against the committed record (bench-check).
+# >4096-vertex single-component instance (chunked candidate rows), plus
+# the multi-query session experiment (9-cell grid, amortized vs
+# independent) embedded under "grid". Future engine PRs compare against
+# the committed record (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
+	$(GO) run ./cmd/benchmark -exp grid -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a
 # per-workers delta table and fails loudly when nodes/sec regresses by
 # more than 10% on the same instance.
 bench-check:
-	$(GO) run ./cmd/benchmark -exp core -baseline BENCH_core.json -out /tmp/BENCH_core.new.json
+	$(GO) run ./cmd/benchmark -exp core -scale $(BENCH_SCALE) -baseline BENCH_core.json -out /tmp/BENCH_core.new.json
+	$(GO) run ./cmd/benchmark -exp grid -scale $(BENCH_SCALE) -out /tmp/BENCH_grid.new.json
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

@@ -10,10 +10,13 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. The extra experiment "core" benchmarks
-// the branch-and-bound engine itself (Workers 1 vs 4 on a
-// single-giant-component graph) and always emits JSON — `make bench`
-// uses it to regenerate BENCH_core.json, the repo's perf trajectory.
+// casestudies, ablation, all. Two extra experiments always emit JSON
+// and feed BENCH_core.json, the repo's perf trajectory: "core"
+// benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
+// single-giant-component graph), and "grid" measures the multi-query
+// session — a 9-cell (k, δ) grid answered by one warm Session versus
+// independent Find calls (use -merge BENCH_core.json to embed the
+// record; `make bench` runs both).
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		format   = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
 		maxNodes = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
 		baseline = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
+		merge    = flag.String("merge", "", "for -exp grid: existing BENCH_core.json to embed the grid record into")
 	)
 	flag.Parse()
 
@@ -57,6 +61,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: core engine bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "grid" {
+		// The multi-query amortization experiment: one session FindGrid
+		// versus independent Find calls on the same 9-cell (k, δ) grid.
+		// JSON-only; -merge embeds it into the committed core record.
+		if err := bench.WriteGridBench(cfg, w, *merge); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: grid session bench finished in %v\n", time.Since(start))
 		return
 	}
 	switch *format {

@@ -8,6 +8,13 @@
 //	mfc -graph g.txt -k 3 -delta 1 -heuristic    # linear-time HeurRFC only
 //	mfc -graph g.txt -k 3 -reduce                # reduction pipeline only
 //	mfc -graph g.txt -k 3 -delta 1 -enum         # Bron-Kerbosch baseline
+//	mfc -graph g.txt -grid 'k=2..4,delta=1..3'   # multi-query session grid
+//
+// The -grid form answers every (k, δ) cell of the given ranges through
+// one warm fairclique.Session, so the reduction, ordering and successor
+// masks are built once and the cells warm-start each other. A
+// mode=weak or mode=strong entry switches the whole grid to that
+// fairness model (the delta range is then ignored).
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"fairclique"
@@ -43,6 +52,7 @@ func main() {
 		enumerate  = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
 		maxNodes   = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
 		workers    = flag.Int("workers", 1, "parallel branching workers (root branches are split inside each component)")
+		grid       = flag.String("grid", "", "answer a (k, delta) grid on one warm session, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
 		quiet      = flag.Bool("q", false, "print only the clique size")
 	)
 	flag.Parse()
@@ -56,6 +66,26 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+	}
+
+	if *grid != "" {
+		ub, ok := boundNames[*bound]
+		if !ok {
+			fatal(fmt.Errorf("unknown bound %q (want ad, deg, h, cd, ch or cp)", *bound))
+		}
+		specs, err := parseGrid(*grid)
+		if err != nil {
+			fatal(err)
+		}
+		runGrid(g, specs, fairclique.SessionOptions{
+			Bound:            ub,
+			DisableBounds:    *noBounds,
+			DisableHeuristic: *noHeur,
+			DisableReduction: *noReduce,
+			MaxNodes:         *maxNodes,
+			Workers:          *workers,
+		}, *quiet)
+		return
 	}
 
 	switch {
@@ -138,6 +168,114 @@ func report(g *fairclique.Graph, clique []int, quiet bool, elapsed time.Duration
 	sort.Ints(sorted)
 	fmt.Printf("maximum fair clique: size %d (%.2f ms)\n", len(clique), float64(elapsed.Microseconds())/1000)
 	fmt.Printf("vertices: %v\n", sorted)
+}
+
+// parseRange parses "2" or "2..4" into an inclusive [lo, hi].
+func parseRange(s string) (lo, hi int, err error) {
+	if a, b, ok := strings.Cut(s, ".."); ok {
+		lo, err = strconv.Atoi(a)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q", s)
+		}
+		hi, err = strconv.Atoi(b)
+		if err != nil || hi < lo {
+			return 0, 0, fmt.Errorf("bad range %q", s)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	return lo, lo, nil
+}
+
+// parseGrid expands a grid spec like "k=2..4,delta=1..3" (optionally
+// "mode=weak|strong|relative") into the cross product of query cells.
+func parseGrid(spec string) ([]fairclique.QuerySpec, error) {
+	kLo, kHi := 2, 2
+	dLo, dHi := 1, 1
+	mode := fairclique.ModeRelative
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("grid: expected key=value, got %q", part)
+		}
+		var err error
+		switch key {
+		case "k":
+			kLo, kHi, err = parseRange(val)
+		case "delta":
+			dLo, dHi, err = parseRange(val)
+		case "mode":
+			switch val {
+			case "relative":
+				mode = fairclique.ModeRelative
+			case "weak":
+				mode = fairclique.ModeWeak
+			case "strong":
+				mode = fairclique.ModeStrong
+			default:
+				err = fmt.Errorf("grid: unknown mode %q (want relative, weak or strong)", val)
+			}
+		default:
+			err = fmt.Errorf("grid: unknown key %q (want k, delta or mode)", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	var specs []fairclique.QuerySpec
+	for k := kLo; k <= kHi; k++ {
+		if mode != fairclique.ModeRelative {
+			// Weak/strong fix δ themselves; one cell per k.
+			specs = append(specs, fairclique.QuerySpec{K: k, Mode: mode})
+			continue
+		}
+		for d := dLo; d <= dHi; d++ {
+			specs = append(specs, fairclique.QuerySpec{K: k, Delta: d})
+		}
+	}
+	return specs, nil
+}
+
+// runGrid answers every cell through one warm session and prints the
+// per-cell answers plus the session's amortization counters.
+func runGrid(g *fairclique.Graph, specs []fairclique.QuerySpec, opt fairclique.SessionOptions, quiet bool) {
+	s := fairclique.NewSession(g, opt)
+	start := time.Now()
+	results, err := s.FindGrid(specs)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i, spec := range specs {
+		res := results[i]
+		if quiet {
+			fmt.Println(res.Size())
+			continue
+		}
+		cell := fmt.Sprintf("k=%d δ=%d", spec.K, spec.Delta)
+		switch spec.Mode {
+		case fairclique.ModeWeak:
+			cell = fmt.Sprintf("k=%d weak", spec.K)
+		case fairclique.ModeStrong:
+			cell = fmt.Sprintf("k=%d strong", spec.K)
+		}
+		note := ""
+		if !res.Exact {
+			note = "  (aborted by -max-nodes; may be sub-optimal)"
+		}
+		fmt.Printf("%-14s size %2d  (%d a, %d b)  %d nodes%s\n",
+			cell, res.Size(), res.CountA, res.CountB, res.Stats.Nodes, note)
+	}
+	if quiet {
+		return
+	}
+	st := s.Stats()
+	fmt.Printf("grid: %d cells in %.2f ms\n", len(specs), float64(elapsed.Microseconds())/1000)
+	fmt.Printf("session: %d nodes, %d reduction builds (%d chained), %d reuses, %d warm starts, %d dominance skips\n",
+		st.Nodes, st.ReductionBuilds, st.ReductionChained, st.ReductionReuses, st.WarmStarts, st.DominanceSkips)
 }
 
 func fatal(err error) {

@@ -103,6 +103,76 @@ func TestCLISearch(t *testing.T) {
 	}
 }
 
+func TestParseGrid(t *testing.T) {
+	specs, err := parseGrid("k=2..4,delta=1..3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 9 {
+		t.Fatalf("k=2..4,delta=1..3 expanded to %d cells, want 9", len(specs))
+	}
+	if specs[0] != (fairclique.QuerySpec{K: 2, Delta: 1}) {
+		t.Fatalf("first cell %+v", specs[0])
+	}
+	if specs[8] != (fairclique.QuerySpec{K: 4, Delta: 3}) {
+		t.Fatalf("last cell %+v", specs[8])
+	}
+
+	specs, err = parseGrid("k=1..3,mode=weak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[1].Mode != fairclique.ModeWeak {
+		t.Fatalf("weak grid: %+v", specs)
+	}
+
+	specs, err = parseGrid("k=2,delta=0,mode=strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Mode != fairclique.ModeStrong {
+		t.Fatalf("strong grid: %+v", specs)
+	}
+
+	for _, bad := range []string{"k=2..1", "k=x", "delta", "mode=fuzzy", "q=3"} {
+		if _, err := parseGrid(bad); err == nil {
+			t.Fatalf("parseGrid(%q) should fail", bad)
+		}
+	}
+}
+
+// The grid CLI must answer each cell with the size a single-query run
+// reports: the balanced K6 fixture has a 6-clique at (k<=3, δ=0), so
+// every cell of k=2..3, δ=0..1 is 6.
+func TestCLIGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := writeFixture(t)
+	out, err := runCLI(t, "-graph", path, "-grid", "k=2..3,delta=0..1")
+	if err != nil {
+		t.Fatalf("mfc -grid failed: %v\n%s", err, out)
+	}
+	if strings.Count(out, "size  6") != 4 {
+		t.Fatalf("expected four size-6 cells:\n%s", out)
+	}
+	if !strings.Contains(out, "grid: 4 cells") || !strings.Contains(out, "session:") {
+		t.Fatalf("missing grid summary:\n%s", out)
+	}
+	// Quiet mode prints one size per line.
+	out, err = runCLI(t, "-graph", path, "-grid", "k=2..3,delta=0..1", "-q")
+	if err != nil {
+		t.Fatalf("mfc -grid -q failed: %v\n%s", err, out)
+	}
+	if strings.Count(out, "6") != 4 {
+		t.Fatalf("quiet grid output:\n%s", out)
+	}
+	// Bad grid specs exit non-zero.
+	if _, err := runCLI(t, "-graph", path, "-grid", "k=oops"); err == nil {
+		t.Fatal("bad grid spec should fail")
+	}
+}
+
 func TestCLIModes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI integration in -short mode")

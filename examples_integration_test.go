@@ -23,6 +23,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/marketing", "campaign roster"},
 		{"./examples/reduction", "with reduction"},
 		{"./examples/fairnessmodels", "strong"},
+		{"./examples/sessiongrid", "dominance skips"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -10,6 +10,9 @@
 //   - Graph construction (NewGraph / builder methods, text IO),
 //   - Find: the exact MaxRFC branch-and-bound with the paper's
 //     reduction pipeline, upper bounds and heuristic seeding,
+//   - NewSession: a prepared multi-query engine that freezes the graph
+//     once and answers a grid of (k, δ, mode) queries with shared
+//     preprocessing and cross-query warm-starts,
 //   - Heuristic: the linear-time HeurRFC approximation,
 //   - Reduce: the colorful-support reduction pipeline on its own,
 //   - Enumerate: the Bron–Kerbosch baseline.
@@ -44,6 +47,7 @@ import (
 	"fairclique/internal/graph"
 	"fairclique/internal/heuristic"
 	"fairclique/internal/reduce"
+	"fairclique/internal/session"
 )
 
 // Attr is a binary vertex attribute; the paper's A = {a, b}.
@@ -267,6 +271,11 @@ func Find(g *Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resultFromCore(ig, res), nil
+}
+
+// resultFromCore converts an internal search result to the public one.
+func resultFromCore(ig *graph.Graph, res *core.Result) *Result {
 	out := &Result{
 		Clique: toInt(res.Clique),
 		Exact:  !res.Stats.Aborted,
@@ -280,7 +289,7 @@ func Find(g *Graph, opt Options) (*Result, error) {
 		},
 	}
 	out.CountA, out.CountB = ig.CountAttrs(res.Clique)
-	return out, nil
+	return out
 }
 
 // FindWeak computes a maximum *weak* fair clique (Pan et al. [23]): at
@@ -345,6 +354,191 @@ func Enumerate(g *Graph, k, delta int) ([]int, error) {
 		return nil, fmt.Errorf("fairclique: delta must be >= 0, got %d", delta)
 	}
 	return toInt(enum.MaxFairClique(g.freeze(), k, delta)), nil
+}
+
+// Mode selects the fairness model of a session query, following Pan et
+// al.'s taxonomy: the relative model takes an explicit δ, the weak
+// model drops the balance constraint (δ = |V|), the strong model
+// demands exactly equal counts (δ = 0).
+type Mode int
+
+// Session query modes.
+const (
+	// ModeRelative is the paper's (k, δ)-relative fair clique.
+	ModeRelative Mode = iota
+	// ModeWeak requires only >= k vertices of each attribute.
+	ModeWeak
+	// ModeStrong requires exactly equal attribute counts (>= k each).
+	ModeStrong
+)
+
+// QuerySpec is one cell of a session workload: the per-attribute
+// minimum K, the fairness Mode, and — for ModeRelative — the balance
+// tolerance Delta (ignored by the other modes).
+type QuerySpec struct {
+	K     int
+	Delta int
+	Mode  Mode
+}
+
+// SessionOptions configures a Session; the zero value is the
+// recommended default (all reductions, the colorful-degeneracy bound,
+// heuristic seeding, serial search). The per-query parameters live in
+// QuerySpec.
+type SessionOptions struct {
+	// Bound selects the extra upper bound (default UBColorfulDegeneracy).
+	Bound UpperBound
+	// DisableBounds, DisableHeuristic and DisableReduction mirror the
+	// same Options knobs, applied to every query of the session.
+	DisableBounds    bool
+	DisableHeuristic bool
+	DisableReduction bool
+	// MaxNodes caps each individual query's branch nodes (0 =
+	// unlimited). Capped (inexact) answers are never reused to bound or
+	// seed later queries.
+	MaxNodes int64
+	// Workers is the total branching parallelism: a single Find spends
+	// it inside the query, FindGrid spreads it across concurrent cells.
+	Workers int
+}
+
+// SessionStats aggregates the work of all queries a Session has
+// answered, exposing what the amortization actually saved.
+type SessionStats struct {
+	// Queries is the number of cells answered (Find calls plus FindGrid
+	// cells).
+	Queries int64
+	// Nodes, Donations, BoundChecks and BoundPrunes sum the per-query
+	// search stats.
+	Nodes, Donations, BoundChecks, BoundPrunes int64
+	// ReductionBuilds counts reduction-pipeline runs; ReductionChained
+	// is how many of them ran on a smaller-k snapshot instead of the
+	// original graph; ReductionReuses counts queries served by an
+	// already-built reduction and successor-mask set.
+	ReductionBuilds, ReductionChained, ReductionReuses int64
+	// WarmStarts counts queries seeded from a previously found clique;
+	// DominanceSkips counts queries answered with zero branching
+	// because a previous answer already proved the optimum.
+	WarmStarts, DominanceSkips int64
+}
+
+// Session freezes a graph once — CSR, reduction snapshots per k,
+// peel-rank relabeling, per-component chunked successor masks,
+// attribute histograms — and answers any number of (k, δ, mode)
+// queries against it without repeating that work. Queries also
+// warm-start each other: every exact answer seeds the incumbent of
+// later compatible queries and upper-bounds stricter cells through
+// monotonicity (opt(k, δ) <= opt(k', δ') for k' <= k, δ' >= δ), so a
+// grid of related queries costs far less than independent Find calls.
+//
+// A Session is safe for concurrent use; FindGrid additionally runs its
+// cells concurrently, each with its own incumbent, on top of the
+// engine's intra-query parallelism. The Session snapshots the graph at
+// creation: later mutations of g are not observed — build a new
+// Session after changing the graph.
+type Session struct {
+	ig    *graph.Graph
+	inner *session.Session
+}
+
+// NewSession freezes g for repeated querying. At most one
+// SessionOptions value may be supplied; none means defaults.
+func NewSession(g *Graph, opts ...SessionOptions) *Session {
+	var o SessionOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	ig := g.freeze()
+	return &Session{
+		ig: ig,
+		inner: session.New(ig, session.Options{
+			UseBounds:     !o.DisableBounds,
+			Extra:         o.Bound,
+			UseHeuristic:  !o.DisableHeuristic,
+			SkipReduction: o.DisableReduction,
+			MaxNodes:      o.MaxNodes,
+			Workers:       o.Workers,
+		}),
+	}
+}
+
+// normalize maps a QuerySpec to the internal (k, δ) cell.
+func (s *Session) normalize(spec QuerySpec) (session.Query, error) {
+	if spec.K < 1 {
+		return session.Query{}, fmt.Errorf("fairclique: k must be >= 1, got %d", spec.K)
+	}
+	switch spec.Mode {
+	case ModeRelative:
+		if spec.Delta < 0 {
+			return session.Query{}, fmt.Errorf("fairclique: delta must be >= 0, got %d", spec.Delta)
+		}
+		return session.Query{K: int32(spec.K), Delta: int32(spec.Delta)}, nil
+	case ModeWeak:
+		return session.Query{K: int32(spec.K), Delta: s.ig.N()}, nil
+	case ModeStrong:
+		return session.Query{K: int32(spec.K), Delta: 0}, nil
+	default:
+		return session.Query{}, fmt.Errorf("fairclique: unknown mode %d", spec.Mode)
+	}
+}
+
+// Find answers one query on the warm session. The result is identical
+// (in size and validity) to an independent Find/FindWeak/FindStrong
+// call on the same graph, but reuses the session's prepared state and
+// prior answers.
+func (s *Session) Find(spec QuerySpec) (*Result, error) {
+	q, err := s.normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.inner.Find(q)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromCore(s.ig, res), nil
+}
+
+// FindGrid answers a grid of cells, returning results aligned with
+// specs. Cells are scheduled to maximize reuse (k ascending, δ
+// descending) and run concurrently when Workers > 1; every cell's
+// result is exactly what an independent Find of that cell would
+// return.
+func (s *Session) FindGrid(specs []QuerySpec) ([]*Result, error) {
+	qs := make([]session.Query, len(specs))
+	for i, spec := range specs {
+		q, err := s.normalize(spec)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	rs, err := s.inner.FindGrid(qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(rs))
+	for i, r := range rs {
+		out[i] = resultFromCore(s.ig, r)
+	}
+	return out, nil
+}
+
+// Stats reports the session's aggregated effort and amortization
+// counters.
+func (s *Session) Stats() SessionStats {
+	st := s.inner.Stats()
+	return SessionStats{
+		Queries:          st.Queries,
+		Nodes:            st.Nodes,
+		Donations:        st.Donations,
+		BoundChecks:      st.BoundChecks,
+		BoundPrunes:      st.BoundPrunes,
+		ReductionBuilds:  st.ReductionBuilds,
+		ReductionChained: st.ReductionChained,
+		ReductionReuses:  st.ReductionReuses,
+		WarmStarts:       st.WarmStarts,
+		DominanceSkips:   st.DominanceSkips,
+	}
 }
 
 func toInt32(s []int) []int32 {

@@ -45,6 +45,10 @@ type CoreBenchResult struct {
 	NumCPU          int            `json:"num_cpu"`
 	Runs            []CoreBenchRun `json:"runs"`
 	SpeedupW4OverW1 float64        `json:"speedup_w4_over_w1"`
+	// Grid, when present, is the multi-query session experiment
+	// (`benchmark -exp grid`): the same instance's 9-cell (k, δ) grid
+	// answered by one warm session versus independent Find calls.
+	Grid *GridBenchResult `json:"grid,omitempty"`
 }
 
 // coreBenchInstance builds the deterministic single-giant-component

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/core"
+	"fairclique/internal/session"
+)
+
+// GridBenchCell is one (k, δ) cell of the grid experiment, with the
+// agreed answer and the independent-path cost.
+type GridBenchCell struct {
+	K       int     `json:"k"`
+	Delta   int     `json:"delta"`
+	Size    int     `json:"size"`
+	IndSecs float64 `json:"independent_seconds"`
+}
+
+// GridBenchResult records the amortized-vs-independent comparison: the
+// same (k, δ) grid answered by independent MaxRFC calls and by one
+// session FindGrid, with the per-cell equality that makes the speedup
+// claim meaningful. Merged into BENCH_core.json by `make bench`.
+type GridBenchResult struct {
+	Graph    CoreBenchGraph  `json:"graph"`
+	GridSpec string          `json:"grid_spec"`
+	Cells    []GridBenchCell `json:"cells"`
+	// IndependentSeconds is the summed wall clock of the one-shot runs;
+	// SessionSeconds is one FindGrid over a fresh session (best of 3
+	// each).
+	IndependentSeconds float64 `json:"independent_seconds"`
+	SessionSeconds     float64 `json:"session_seconds"`
+	Speedup            float64 `json:"speedup_independent_over_session"`
+	// AllMatch is true iff every session cell equalled its independent
+	// run in size — recorded so a future regression is visible in the
+	// committed record, not just in tests.
+	AllMatch bool `json:"all_match"`
+	// Session amortization counters for the measured FindGrid.
+	ReductionBuilds int64 `json:"reduction_builds"`
+	ReductionReuses int64 `json:"reduction_reuses"`
+	WarmStarts      int64 `json:"warm_starts"`
+	DominanceSkips  int64 `json:"dominance_skips"`
+	SessionNodes    int64 `json:"session_nodes"`
+}
+
+// gridBenchQueries is the 9-cell grid of the acceptance experiment:
+// k=2..4 × δ=1..3 with the default pipeline (reduction, colorful
+// degeneracy bound, heuristic).
+func gridBenchQueries() []session.Query {
+	var qs []session.Query
+	for k := int32(2); k <= 4; k++ {
+		for d := int32(1); d <= 3; d++ {
+			qs = append(qs, session.Query{K: k, Delta: d})
+		}
+	}
+	return qs
+}
+
+// GridBench measures the 9-cell grid on the bigcomp-giant instance:
+// independent per-cell MaxRFC calls versus one session FindGrid,
+// asserting cell-for-cell equality.
+func GridBench(cfg Config) GridBenchResult {
+	g, desc := coreBenchInstance(cfg.scale())
+	qs := gridBenchQueries()
+	res := GridBenchResult{
+		Graph:    desc,
+		GridSpec: "k=2..4,delta=1..3",
+		AllMatch: true,
+	}
+	sopt := session.Options{
+		UseBounds:    true,
+		Extra:        bounds.ColorfulDegeneracy,
+		UseHeuristic: true,
+		MaxNodes:     cfg.MaxNodes,
+	}
+
+	// Independent path: each cell pays the full pipeline. Best of 3
+	// per cell.
+	indSizes := make([]int, len(qs))
+	for i, q := range qs {
+		cell := GridBenchCell{K: int(q.K), Delta: int(q.Delta)}
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := core.MaxRFC(g, core.Options{
+				K: int(q.K), Delta: int(q.Delta),
+				UseBounds: true, Extra: bounds.ColorfulDegeneracy,
+				UseHeuristic: true, MaxNodes: cfg.MaxNodes,
+			})
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				panic(err)
+			}
+			if rep == 0 || elapsed < cell.IndSecs {
+				cell.IndSecs = elapsed
+			}
+			cell.Size = r.Size()
+		}
+		indSizes[i] = cell.Size
+		res.Cells = append(res.Cells, cell)
+		res.IndependentSeconds += cell.IndSecs
+	}
+
+	// Session path: a fresh session per repetition (a warm one would
+	// answer the repeat grid from memory and measure nothing).
+	for rep := 0; rep < 3; rep++ {
+		s := session.New(g, sopt)
+		start := time.Now()
+		rs, err := s.FindGrid(qs)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			panic(err)
+		}
+		for i := range qs {
+			if rs[i].Size() != indSizes[i] {
+				res.AllMatch = false
+			}
+		}
+		if rep == 0 || elapsed < res.SessionSeconds {
+			res.SessionSeconds = elapsed
+			st := s.Stats()
+			res.ReductionBuilds = st.ReductionBuilds
+			res.ReductionReuses = st.ReductionReuses
+			res.WarmStarts = st.WarmStarts
+			res.DominanceSkips = st.DominanceSkips
+			res.SessionNodes = st.Nodes
+		}
+	}
+	if res.SessionSeconds > 0 {
+		res.Speedup = res.IndependentSeconds / res.SessionSeconds
+	}
+	return res
+}
+
+// WriteGridBench runs GridBench, writes its JSON record to w and, when
+// mergePath names an existing core record (BENCH_core.json), embeds the
+// grid result into it under "grid" so the repo keeps one perf
+// trajectory file.
+func WriteGridBench(cfg Config, w io.Writer, mergePath string) error {
+	res := GridBench(cfg)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if !res.AllMatch {
+		return fmt.Errorf("grid bench: session cells diverged from independent runs; record not trustworthy")
+	}
+	if mergePath == "" {
+		return nil
+	}
+	rec, err := LoadCoreBench(mergePath)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", mergePath, err)
+	}
+	rec.Grid = &res
+	// Encode fully before touching the committed record, and swap it in
+	// with a rename so a failure mid-write cannot destroy the perf
+	// trajectory file.
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := mergePath + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, mergePath)
+}

@@ -1,0 +1,68 @@
+package bounds
+
+// This file implements the cross-query monotonicity bound used by the
+// session layer: exact answers to already-solved (k, δ) queries upper
+// bound the answers of stricter queries.
+//
+// Let opt(k, δ) be the maximum (k, δ)-relative fair clique size. Every
+// (k₂, δ₂)-fair clique with k₂ >= k₁ and δ₂ <= δ₁ is also a
+// (k₁, δ₁)-fair clique (its per-attribute counts are >= k₂ >= k₁ and
+// its count difference is <= δ₂ <= δ₁), hence
+//
+//	opt(k₂, δ₂) <= opt(k₁, δ₁)   whenever k₁ <= k₂ and δ₁ >= δ₂.
+//
+// A GridTable records exactly-solved cells and answers the tightest
+// such bound for a new cell. The bound is safe in the same sense as
+// the paper's Table II bounds: never below the true optimum.
+
+// GridCell is one exactly solved query: opt(K, Delta) == Size.
+type GridCell struct {
+	K, Delta int32
+	Size     int32
+}
+
+// Weaker reports whether constraint (k1, d1) is no stricter than
+// (k2, d2): every (k2, d2)-fair clique is then a (k1, d1)-fair clique,
+// so opt(k2, d2) <= opt(k1, d1).
+func Weaker(k1, d1, k2, d2 int32) bool {
+	return k1 <= k2 && d1 >= d2
+}
+
+// GridTable accumulates exactly solved cells. The zero value is ready
+// to use. It is not synchronized; the session layer guards it with its
+// own lock.
+type GridTable struct {
+	cells []GridCell
+}
+
+// Add records an exactly solved cell. Inexact (aborted) results must
+// not be added — the table's bounds are only safe over true optima.
+func (t *GridTable) Add(k, delta, size int32) {
+	// Drop cells this one dominates for bounding purposes: if (k, δ) is
+	// weaker-or-equal than an existing cell and its value is <= that
+	// cell's, the existing cell can never give a strictly better bound.
+	kept := t.cells[:0]
+	for _, c := range t.cells {
+		if Weaker(k, delta, c.K, c.Delta) && size <= c.Size {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	t.cells = append(kept, GridCell{K: k, Delta: delta, Size: size})
+}
+
+// UpperBound returns the tightest monotonicity bound on opt(k, delta)
+// derivable from the solved cells: the minimum Size over cells whose
+// constraint is weaker than (k, delta). ok is false when no solved
+// cell bounds this one.
+func (t *GridTable) UpperBound(k, delta int32) (ub int32, ok bool) {
+	for _, c := range t.cells {
+		if Weaker(c.K, c.Delta, k, delta) && (!ok || c.Size < ub) {
+			ub, ok = c.Size, true
+		}
+	}
+	return ub, ok
+}
+
+// Cells returns the retained solved cells (for stats and tests).
+func (t *GridTable) Cells() []GridCell { return t.cells }

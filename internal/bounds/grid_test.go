@@ -1,0 +1,128 @@
+package bounds
+
+import (
+	"testing"
+
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+func TestWeaker(t *testing.T) {
+	for _, tc := range []struct {
+		k1, d1, k2, d2 int32
+		want           bool
+	}{
+		{2, 3, 2, 3, true},  // identical
+		{2, 3, 3, 1, true},  // smaller k, larger δ: strictly weaker
+		{2, 1, 2, 3, false}, // tighter δ is not weaker
+		{3, 3, 2, 3, false}, // larger k is not weaker
+		{1, 0, 2, 0, true},
+		{3, 5, 2, 9, false}, // incomparable (k up, δ up)
+	} {
+		if got := Weaker(tc.k1, tc.d1, tc.k2, tc.d2); got != tc.want {
+			t.Fatalf("Weaker(%d,%d, %d,%d) = %v, want %v",
+				tc.k1, tc.d1, tc.k2, tc.d2, got, tc.want)
+		}
+	}
+}
+
+func TestGridTableBounds(t *testing.T) {
+	var tab GridTable
+	if _, ok := tab.UpperBound(2, 1); ok {
+		t.Fatal("empty table produced a bound")
+	}
+	tab.Add(2, 3, 10)
+	if ub, ok := tab.UpperBound(3, 1); !ok || ub != 10 {
+		t.Fatalf("UpperBound(3,1) = %d,%v; want 10,true", ub, ok)
+	}
+	if _, ok := tab.UpperBound(1, 3); ok {
+		t.Fatal("k=1 query bounded by a k=2 cell")
+	}
+	if _, ok := tab.UpperBound(2, 4); ok {
+		t.Fatal("δ=4 query bounded by a δ=3 cell")
+	}
+	tab.Add(3, 3, 8) // tighter cell, smaller value
+	if ub, _ := tab.UpperBound(3, 2); ub != 8 {
+		t.Fatalf("UpperBound(3,2) = %d; want the tighter 8", ub)
+	}
+	// The k=2 cell still bounds k=2 queries.
+	if ub, _ := tab.UpperBound(2, 2); ub != 10 {
+		t.Fatalf("UpperBound(2,2) = %d; want 10", ub)
+	}
+}
+
+// Add must drop cells made redundant by a weaker-or-equal cell with an
+// equal-or-smaller value, and only those.
+func TestGridTableRedundancyPruning(t *testing.T) {
+	var tab GridTable
+	tab.Add(3, 1, 8)
+	tab.Add(2, 2, 8) // weaker constraint, same value: (3,1) is redundant
+	if n := len(tab.Cells()); n != 1 {
+		t.Fatalf("%d cells retained, want 1: %+v", n, tab.Cells())
+	}
+	tab.Add(3, 3, 6) // tighter value but incomparable constraint: kept
+	if n := len(tab.Cells()); n != 2 {
+		t.Fatalf("%d cells retained, want 2: %+v", n, tab.Cells())
+	}
+	// Bounds combine: (3,1) is bounded by both retained cells and gets
+	// the tighter 6 from (3,3).
+	if ub, _ := tab.UpperBound(3, 1); ub != 6 {
+		t.Fatalf("UpperBound(3,1) = %d; want 6", ub)
+	}
+	if ub, _ := tab.UpperBound(4, 3); ub != 6 {
+		t.Fatalf("UpperBound(4,3) = %d; want 6", ub)
+	}
+}
+
+// Property test against ground truth: fill the table with exact optima
+// of random graphs (in random insertion order) and check that every
+// derived bound is safe — never below the true optimum of the cell it
+// bounds.
+func TestGridTableSafeOnRandomGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		r := rng.New(seed)
+		n := 14 + int(r.Intn(8))
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bool(0.5) {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+		g := b.Build()
+
+		type cell struct{ k, d, opt int32 }
+		var cells []cell
+		for k := int32(1); k <= 3; k++ {
+			for d := int32(0); d <= 3; d++ {
+				opt := int32(len(enum.MaxFairClique(g, int(k), int(d))))
+				cells = append(cells, cell{k, d, opt})
+			}
+		}
+		order := r.Perm(len(cells))
+		var tab GridTable
+		for _, i := range order {
+			c := cells[i]
+			// Before adding: any existing bound must already be safe.
+			if ub, ok := tab.UpperBound(c.k, c.d); ok && ub < c.opt {
+				t.Fatalf("seed=%d: bound %d below optimum %d for (k=%d, δ=%d)",
+					seed, ub, c.opt, c.k, c.d)
+			}
+			tab.Add(c.k, c.d, c.opt)
+		}
+		// After all insertions every cell's bound is exact (the cell
+		// itself bounds it).
+		for _, c := range cells {
+			ub, ok := tab.UpperBound(c.k, c.d)
+			if !ok || ub != c.opt {
+				t.Fatalf("seed=%d: (k=%d, δ=%d) bound %d/%v, want exact %d",
+					seed, c.k, c.d, ub, ok, c.opt)
+			}
+		}
+	}
+}

@@ -108,7 +108,7 @@ func TestBigComponentUsesChunkedPath(t *testing.T) {
 
 	// White-box: the component must be routed to the chunked
 	// representation, never the slice fallback.
-	s := &searcher{g: g, k: 2, delta: 1, opt: Options{K: 2, Delta: 1}}
+	s := &searcher{p: PrepareReduced(g, identity(g.N())), k: 2, delta: 1, opt: Options{K: 2, Delta: 1}}
 	d := s.newCompData(comps[0])
 	if d.succ == nil || d.allVerts != nil {
 		t.Fatalf("component of %d vertices did not take the chunked path", d.n)
@@ -180,15 +180,14 @@ func starvedGraph(seed uint64, n int) *graph.Graph {
 // The returned searcher's best clique is in g's own vertex ids.
 func searchSingleComponent(t *testing.T, g *graph.Graph, opt Options, workers int) *searcher {
 	t.Helper()
-	s := &searcher{g: g, k: int32(opt.K), delta: int32(opt.Delta), opt: opt}
+	s := &searcher{p: PrepareReduced(g, identity(g.N())), k: int32(opt.K), delta: int32(opt.Delta), opt: opt}
 	if s.opt.BoundDepth <= 0 {
 		s.opt.BoundDepth = 1
 	}
-	comps := graph.ConnectedComponents(g)
-	if len(comps) != 1 {
-		t.Fatalf("fixture has %d components, want 1", len(comps))
+	if got := s.p.Components(); got != 1 {
+		t.Fatalf("fixture has %d components, want 1", got)
 	}
-	s.searchComponent(comps[0], workers)
+	s.searchComponent(0, workers)
 	return s
 }
 
@@ -220,6 +219,40 @@ func TestWorkStealingStarvedRootSplit(t *testing.T) {
 	}
 }
 
+// Regression for the production root-split path: rootTasks must yield
+// the root branch vertices from a FRESH worker (whose collect arena
+// starts nil) and from a recycled one. A nil collect buffer would make
+// expandBits miss collect mode and silently search the whole component
+// serially — exactness tests cannot catch that, only the split itself.
+func TestRootSplitCollectsTasks(t *testing.T) {
+	g := starvedGraph(2, 48)
+	s := &searcher{p: PrepareReduced(g, identity(g.N())), k: 1, delta: 46,
+		opt: Options{K: 1, Delta: 46, BoundDepth: 1}}
+	if got := s.p.Components(); got != 1 {
+		t.Fatalf("fixture has %d components, want 1", got)
+	}
+	prep := s.p.comp(0)
+	d := &compData{compPrep: prep, s: s}
+	for _, pass := range []string{"fresh", "recycled"} {
+		w := prep.getWorker(d)
+		tasks := w.rootTasks()
+		// The starved fixture has exactly three attribute-a vertices and
+		// the root expands only the a side (diff == 0, cnt[0] < k).
+		if len(tasks) != 3 {
+			t.Fatalf("%s worker: root split collected %d tasks, want 3", pass, len(tasks))
+		}
+		for _, u := range tasks {
+			if d.comp.Attr(u) != graph.AttrA {
+				t.Fatalf("%s worker: collected non-a root branch %d", pass, u)
+			}
+		}
+		if w.collect != nil {
+			t.Fatalf("%s worker: collect mode left enabled after the split", pass)
+		}
+		prep.putWorker(w)
+	}
+}
+
 // Deterministic donation: a thief worker is parked in acquire before
 // the driver branches, so the driver's first expansion is guaranteed
 // to see a hungry peer and ship a subtree. This pins the donate /
@@ -229,12 +262,11 @@ func TestWorkStealingStarvedRootSplit(t *testing.T) {
 func TestDonationFeedsHungryWorker(t *testing.T) {
 	g := starvedGraph(1, 60)
 	opt := Options{K: 1, Delta: 56, BoundDepth: 1}
-	s := &searcher{g: g, k: 1, delta: 56, opt: opt}
-	comps := graph.ConnectedComponents(g)
-	if len(comps) != 1 {
-		t.Fatalf("fixture has %d components, want 1", len(comps))
+	s := &searcher{p: PrepareReduced(g, identity(g.N())), k: 1, delta: 56, opt: opt}
+	if got := s.p.Components(); got != 1 {
+		t.Fatalf("fixture has %d components, want 1", got)
 	}
-	d := s.newCompData(comps[0])
+	d := s.newCompData(s.p.comps[0])
 	d.steal = newStealState(2)
 
 	driver := newWorker(d)

@@ -18,12 +18,11 @@ func newWarmEngine(t testing.TB, g *graph.Graph, opt Options) (*searcher, *worke
 	if opt.BoundDepth <= 0 {
 		opt.BoundDepth = 1
 	}
-	s := &searcher{g: g, k: int32(opt.K), delta: int32(opt.Delta), opt: opt}
-	comps := graph.ConnectedComponents(g)
-	if len(comps) != 1 {
-		t.Fatalf("test graph has %d components, want 1", len(comps))
+	s := &searcher{p: PrepareReduced(g, identity(g.N())), k: int32(opt.K), delta: int32(opt.Delta), opt: opt}
+	if got := s.p.Components(); got != 1 {
+		t.Fatalf("test graph has %d components, want 1", got)
 	}
-	d := s.newCompData(comps[0])
+	d := s.newCompData(s.p.comps[0])
 	if d.succ == nil {
 		t.Fatalf("component of %d vertices fell back to the slice path", d.n)
 	}
@@ -75,6 +74,52 @@ func TestBranchSteadyStateZeroAllocs(t *testing.T) {
 			})
 			if avg != 0 {
 				t.Fatalf("steady-state branching allocates %.2f objects per full-tree run, want 0", avg)
+			}
+		})
+	}
+}
+
+// The session re-query path: a second (and every later) full query on a
+// warm Prepared must stay at 0 allocs/node. The branching itself is
+// allocation-free (asserted above) and the worker arenas come back from
+// the compPrep freelist, so a whole re-query allocates only a fixed
+// handful of per-query objects (searcher, result, component views,
+// incumbent copies) regardless of how many nodes it visits.
+func TestBranchSteadyStateZeroAllocsOnRequery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		opt  Options
+	}{
+		{"plain", random(42, 90, 0.4), Options{K: 2, Delta: 1, SkipReduction: true}},
+		{"bounds", random(42, 90, 0.4), Options{K: 2, Delta: 1, SkipReduction: true,
+			UseBounds: true, Extra: bounds.ColorfulDegeneracy}},
+		{"multichunk", gen.BigComponent(42, 36, 0.5, graph.ChunkBits+120),
+			Options{K: 2, Delta: 1, SkipReduction: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := prepare(tc.g)
+			warm, err := p.Search(tc.opt, nil) // builds compPreps and worker arenas
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Stats.Nodes < 500 {
+				t.Fatalf("fixture too small to amortize per-query overhead: %d nodes", warm.Stats.Nodes)
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if _, err := p.Search(tc.opt, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// The per-query constant must not scale with the tree: a few
+			// dozen objects over hundreds-to-millions of nodes rounds to
+			// 0 allocs/node.
+			if avg > 64 {
+				t.Fatalf("re-query allocates %.1f objects; want a node-count-independent constant <= 64", avg)
+			}
+			if perNode := avg / float64(warm.Stats.Nodes); perNode > 0.02 {
+				t.Fatalf("re-query allocates %.4f objects/node over %d nodes; want 0 (<= 0.02)",
+					perNode, warm.Stats.Nodes)
 			}
 		})
 	}

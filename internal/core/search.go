@@ -110,6 +110,13 @@ type Options struct {
 	// exact, but which of several equally-sized cliques is returned
 	// may vary between runs.
 	Workers int
+	// StopAtSize, when positive, is a caller-supplied trusted upper
+	// bound on the optimum (the session layer derives one from already
+	// solved queries via monotonicity): the search stops as soon as the
+	// incumbent reaches it, and the result is still exact. Supplying a
+	// value below the true optimum makes the result inexact, so callers
+	// must only pass proven bounds.
+	StopAtSize int
 }
 
 // Stats reports search effort, for the experiment harness.
@@ -144,7 +151,11 @@ type Result struct {
 // Size returns len(Clique).
 func (r *Result) Size() int { return len(r.Clique) }
 
-// MaxRFC finds a maximum relative fair clique of g (Algorithm 2).
+// MaxRFC finds a maximum relative fair clique of g (Algorithm 2): the
+// one-shot entry point, equivalent to preparing the reduced graph and
+// searching it once. Callers answering many queries over the same graph
+// should hold on to a Prepared (or use internal/session) instead, so
+// the reduction and the per-component machinery are paid once.
 func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("core: K must be >= 1, got %d", opt.K)
@@ -152,10 +163,6 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 	if opt.Delta < 0 {
 		return nil, fmt.Errorf("core: Delta must be >= 0, got %d", opt.Delta)
 	}
-	if opt.BoundDepth <= 0 {
-		opt.BoundDepth = 1
-	}
-	res := &Result{}
 
 	// Lines 1-3: reduction pipeline.
 	var work *graph.Graph
@@ -167,26 +174,106 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 		sub, _ := reduce.Pipeline(g, int32(opt.K))
 		work, toOrig = sub.G, sub.ToParent
 	}
-	res.Stats.ReducedVertices, res.Stats.ReducedEdges = work.N(), work.M()
+	return PrepareReduced(work, toOrig).Search(opt, nil)
+}
+
+// Prepared is a reduced graph frozen for repeated searching: connected
+// components sorted largest-first, and — built lazily, once, per
+// component — the peel-rank relabeling, the chunked successor masks,
+// the attribute histograms and a freelist of worker arenas. A Prepared
+// is immutable after construction apart from those internally
+// synchronized caches, so concurrent Search calls (different queries
+// over the same graph) may share it freely.
+type Prepared struct {
+	work   *graph.Graph
+	toOrig []int32
+	comps  [][]int32
+	once   []sync.Once
+	preps  []*compPrep
+}
+
+// PrepareReduced freezes an already-reduced graph for searching. toOrig
+// maps work's vertex ids back to the caller's original ids; Result
+// cliques are reported in that original space. The caller is
+// responsible for the reduction being valid for every K later searched
+// (reduction at k preserves all fair cliques with per-attribute counts
+// >= k, so a snapshot reduced at k serves any K >= k).
+func PrepareReduced(work *graph.Graph, toOrig []int32) *Prepared {
+	p := &Prepared{work: work, toOrig: toOrig}
 	if work.N() == 0 {
+		return p
+	}
+	p.comps = graph.ConnectedComponents(work)
+	sort.SliceStable(p.comps, func(i, j int) bool { return len(p.comps[i]) > len(p.comps[j]) })
+	p.once = make([]sync.Once, len(p.comps))
+	p.preps = make([]*compPrep, len(p.comps))
+	return p
+}
+
+// Work returns the reduced graph searches run against.
+func (p *Prepared) Work() *graph.Graph { return p.work }
+
+// Components returns the number of connected components.
+func (p *Prepared) Components() int { return len(p.comps) }
+
+// comp returns component i's prepared machinery, building it on first
+// use. sync.Once makes the lazy build safe under concurrent searches.
+func (p *Prepared) comp(i int) *compPrep {
+	p.once[i].Do(func() { p.preps[i] = prepareComp(p.work, p.comps[i]) })
+	return p.preps[i]
+}
+
+// Search runs one MaxRFC query over the prepared graph. seed, when
+// non-nil, is a known (K, Delta)-fair clique in original ids that
+// warm-starts the incumbent: the search only explores strictly larger
+// cliques and returns the seed itself when nothing beats it. The caller
+// must guarantee the seed is a valid fair clique for this query's
+// (K, Delta); Search trusts it. Concurrent Search calls on one Prepared
+// are safe — each gets its own incumbent and counters.
+func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", opt.K)
+	}
+	if opt.Delta < 0 {
+		return nil, fmt.Errorf("core: Delta must be >= 0, got %d", opt.Delta)
+	}
+	if opt.BoundDepth <= 0 {
+		opt.BoundDepth = 1
+	}
+	res := &Result{}
+	res.Stats.ReducedVertices, res.Stats.ReducedEdges = p.work.N(), p.work.M()
+	res.Stats.Components = len(p.comps)
+
+	s := &searcher{
+		p:      p,
+		k:      int32(opt.K),
+		delta:  int32(opt.Delta),
+		opt:    opt,
+		stopAt: int32(opt.StopAtSize),
+	}
+	if len(seed) > 0 {
+		s.seed = seed
+		s.bestSize.Store(int32(len(seed)))
+	}
+	if p.work.N() == 0 {
+		res.Clique = cloneSeed(s.seed)
 		return res, nil
 	}
 
-	s := &searcher{
-		g:     work,
-		k:     int32(opt.K),
-		delta: int32(opt.Delta),
-		opt:   opt,
-	}
-
-	// Remark in §V: seed the incumbent with the heuristic result.
+	// Remark in §V: seed the incumbent with the heuristic result (only
+	// when it beats the caller's warm-start seed).
 	if opt.UseHeuristic {
-		h := heuristic.HeurRFC(work, s.k, s.delta)
+		h := heuristic.HeurRFC(p.work, s.k, s.delta)
 		if h.Clique != nil {
-			s.best = append([]int32(nil), h.Clique...)
-			s.bestSize.Store(int32(len(h.Clique)))
 			res.Stats.HeuristicSize = len(h.Clique)
+			if int32(len(h.Clique)) > s.bestSize.Load() {
+				s.best = append([]int32(nil), h.Clique...)
+				s.bestSize.Store(int32(len(h.Clique)))
+			}
 		}
+	}
+	if s.stopAt > 0 && s.bestSize.Load() >= s.stopAt {
+		s.done.Store(true) // the incumbent already meets the trusted bound
 	}
 
 	// Lines 6-11: branch each connected component under CalColorOD.
@@ -196,40 +283,37 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 	// still scales); the tail of small components — where per-component
 	// setup would dwarf an intra-split — is distributed across Workers
 	// one component per goroutine.
-	comps := graph.ConnectedComponents(work)
-	res.Stats.Components = len(comps)
-	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	idx := 0
-	for ; idx < len(comps); idx++ {
-		if workers > 1 && len(comps[idx]) <= smallComponentLimit {
+	for ; idx < len(p.comps); idx++ {
+		if workers > 1 && len(p.comps[idx]) <= smallComponentLimit {
 			break // the rest (sorted descending) go to the pool below
 		}
-		if s.aborted.Load() {
+		if s.halted() {
 			break
 		}
-		s.searchComponent(comps[idx], workers)
+		s.searchComponent(idx, workers)
 	}
-	if workers > 1 && idx < len(comps) && !s.aborted.Load() {
-		jobs := make(chan []int32)
+	if workers > 1 && idx < len(p.comps) && !s.halted() {
+		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for comp := range jobs {
-					s.searchComponent(comp, 1)
+				for ci := range jobs {
+					s.searchComponent(ci, 1)
 				}
 			}()
 		}
-		for _, comp := range comps[idx:] {
-			if s.aborted.Load() {
+		for ci := idx; ci < len(p.comps); ci++ {
+			if s.halted() {
 				break
 			}
-			jobs <- comp
+			jobs <- ci
 		}
 		close(jobs)
 		wg.Wait()
@@ -243,19 +327,31 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 	if s.best != nil {
 		res.Clique = make([]int32, len(s.best))
 		for i, v := range s.best {
-			res.Clique[i] = toOrig[v]
+			res.Clique[i] = p.toOrig[v]
 		}
+	} else {
+		res.Clique = cloneSeed(s.seed)
 	}
 	return res, nil
 }
 
-// searcher holds the shared state of one MaxRFC run over the reduced
+// cloneSeed copies a warm-start seed for the result (nil stays nil).
+func cloneSeed(seed []int32) []int32 {
+	if seed == nil {
+		return nil
+	}
+	return append([]int32(nil), seed...)
+}
+
+// searcher holds the shared state of one search run over the prepared
 // graph: the incumbent and the effort counters, all safe for
 // concurrent workers.
 type searcher struct {
-	g        *graph.Graph
+	p        *Prepared
 	k, delta int32
 	opt      Options
+	seed     []int32 // caller's warm-start clique, in original ids
+	stopAt   int32   // trusted optimum upper bound; 0 = none
 
 	mu       sync.Mutex
 	best     []int32      // in reduced-graph ids
@@ -265,17 +361,27 @@ type searcher struct {
 	boundChecks atomic.Int64
 	boundPrunes atomic.Int64
 	donations   atomic.Int64
-	aborted     atomic.Bool
+	aborted     atomic.Bool // MaxNodes tripped: result inexact
+	done        atomic.Bool // StopAtSize reached: stop early, still exact
 }
 
+// halted reports whether branching should stop, for either reason
+// (inexact abort or exact early finish).
+func (s *searcher) halted() bool { return s.aborted.Load() || s.done.Load() }
+
 // record publishes a fair clique (in reduced-graph ids) if it improves
-// the incumbent.
+// the incumbent. The comparison runs against bestSize, not len(best),
+// because a warm-start seed raises the former without materializing the
+// latter.
 func (s *searcher) record(r []int32, toWork []int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sz := int32(len(r)); sz > int32(len(s.best)) {
+	if sz := int32(len(r)); sz > s.bestSize.Load() {
 		s.best = mapVerts(r, toWork)
 		s.bestSize.Store(sz)
+		if s.stopAt > 0 && sz >= s.stopAt {
+			s.done.Store(true)
+		}
 	}
 }
 
@@ -291,15 +397,17 @@ var useSliceOracle = false
 // per-component setup and barrier cost.
 const smallComponentLimit = 1024
 
-// compData is the shared, read-only search context of one component.
-// It is built once per component and shared by all workers branching
-// inside it.
-type compData struct {
-	s      *searcher
+// compPrep is the query-independent prepared machinery of one
+// component: the peel-rank-relabeled induced graph, the chunked
+// successor masks, the attribute masks/histogram and the recycled
+// worker arenas. It is built once per component (per Prepared) and
+// shared — read-only apart from the locked freelist — by every search
+// and every worker that ever branches inside the component.
+type compPrep struct {
 	comp   *graph.Graph // induced component, relabeled so id == peel rank
 	toWork []int32      // component id -> reduced-graph id
 	n      int32
-	cnt    [2]int32 // attribute counts of the whole component
+	cnt    [2]int32 // attribute histogram of the whole component
 
 	// Chunked bitset representation (zero when useSliceOracle forces
 	// the test-only slice path).
@@ -310,14 +418,64 @@ type compData struct {
 
 	allVerts []int32 // 0..n-1: the root candidate slice (oracle path)
 
+	wmu  sync.Mutex
+	free []*worker // recycled workers, arenas sized for this component
+}
+
+// getWorker pops a recycled worker (rebinding it to this search's view)
+// or builds a fresh one. Recycling keeps repeated queries over a warm
+// Prepared from re-allocating the O(n) clique buffer and the per-depth
+// candidate rows — the session re-query path's allocs/node depends on
+// it.
+func (c *compPrep) getWorker(d *compData) *worker {
+	c.wmu.Lock()
+	var w *worker
+	if n := len(c.free); n > 0 {
+		w = c.free[n-1]
+		c.free = c.free[:n-1]
+	}
+	c.wmu.Unlock()
+	if w == nil {
+		return newWorker(d)
+	}
+	w.d = d
+	w.collect = nil
+	w.localNodes = 0
+	w.flushEvery = flushEvery(d.s.opt)
+	return w
+}
+
+// putWorker returns a worker whose search is finished to the freelist.
+// The compData reference is dropped so a parked worker does not retain
+// the finished search's incumbent state.
+func (c *compPrep) putWorker(w *worker) {
+	w.d = nil
+	c.wmu.Lock()
+	c.free = append(c.free, w)
+	c.wmu.Unlock()
+}
+
+// compData is one search's view of a prepared component: the shared
+// immutable compPrep plus the searcher (incumbent, counters) and the
+// donation state of this particular query.
+type compData struct {
+	*compPrep
+	s     *searcher
 	steal *stealState // subtree work donation; nil when searched serially
 }
 
-// newCompData induces comp from the reduced graph and relabels it by
+// newCompData builds a fresh per-search component view over a freshly
+// prepared component (test entry point; Search goes through
+// Prepared.comp for the cached build).
+func (s *searcher) newCompData(comp []int32) *compData {
+	return &compData{compPrep: prepareComp(s.p.work, comp), s: s}
+}
+
+// prepareComp induces comp from the reduced graph and relabels it by
 // CalColorOD peel rank (Algorithm 2 line 9), then precomputes the
 // chunked bitset machinery (or the slice oracle's vertex list).
-func (s *searcher) newCompData(comp []int32) *compData {
-	sub := graph.Induce(s.g, comp)
+func prepareComp(g *graph.Graph, comp []int32) *compPrep {
+	sub := graph.Induce(g, comp)
 	col := color.Greedy(sub.G)
 	rank := colorful.PeelRank(sub.G, col)
 	n := sub.G.N()
@@ -329,7 +487,7 @@ func (s *searcher) newCompData(comp []int32) *compData {
 	for v := int32(0); v < n; v++ {
 		order[rank[v]] = v
 	}
-	d := &compData{s: s, comp: graph.Permute(sub.G, order), toWork: make([]int32, n), n: n}
+	d := &compPrep{comp: graph.Permute(sub.G, order), toWork: make([]int32, n), n: n}
 	for i, v := range order {
 		d.toWork[i] = sub.ToParent[v]
 	}
@@ -393,20 +551,28 @@ type worker struct {
 	// vertices here instead of recursing — how the root is split into
 	// parallel tasks without duplicating the branch prologue.
 	collect []int32
+	// collectBuf is collect's recycled backing array, kept across
+	// searches by the compPrep freelist.
+	collectBuf []int32
 
 	localNodes int64 // batched into searcher.nodes by flushNodes
 	flushEvery int64
+}
+
+// flushEvery is the node-accounting batch size: small when an abort cap
+// must trip promptly, large otherwise to keep the shared atomic cold.
+func flushEvery(opt Options) int64 {
+	if opt.MaxNodes > 0 {
+		return 8
+	}
+	return 256
 }
 
 func newWorker(d *compData) *worker {
 	w := &worker{
 		d:          d,
 		rbuf:       make([]int32, d.n),
-		flushEvery: 256,
-	}
-	if d.s.opt.MaxNodes > 0 {
-		// Keep the abort reasonably prompt when a cap is set.
-		w.flushEvery = 8
+		flushEvery: flushEvery(d.s.opt),
 	}
 	if d.succ != nil {
 		w.cand = append(w.cand, d.fullRow)
@@ -513,13 +679,13 @@ func (st *stealState) acquire(s *searcher) *subtreeTask {
 	defer st.mu.Unlock()
 	st.busy--
 	for {
-		if n := len(st.tasks); n > 0 && !s.aborted.Load() {
+		if n := len(st.tasks); n > 0 && !s.halted() {
 			t := st.tasks[n-1]
 			st.tasks = st.tasks[:n-1]
 			st.busy++
 			return t
 		}
-		if st.busy == 0 || s.aborted.Load() {
+		if st.busy == 0 || s.halted() {
 			st.cond.Broadcast()
 			return nil
 		}
@@ -536,40 +702,43 @@ func (st *stealState) release(t *subtreeTask) {
 	st.mu.Unlock()
 }
 
-// searchComponent branches one connected component, splitting the root
-// branches across the given number of workers when workers > 1.
-func (s *searcher) searchComponent(comp []int32, workers int) {
+// searchComponent branches the connected component at index ci of the
+// prepared graph, splitting the root branches across the given number
+// of workers when workers > 1.
+func (s *searcher) searchComponent(ci int, workers int) {
 	// Re-checked here (not only at scheduling time) so a component
 	// queued while the incumbent was small is pruned by the incumbent
-	// that has grown since.
-	if s.aborted.Load() || int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+	// that has grown since — before the lazy compPrep build, so skipped
+	// components cost nothing.
+	comp := s.p.comps[ci]
+	if s.halted() || int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
 		return
 	}
-	d := s.newCompData(comp)
+	prep := s.p.comp(ci)
+	d := &compData{compPrep: prep, s: s}
 
 	// The driver worker runs the root node's prologue (recording, size
 	// and attribute feasibility, δ-caps, bounds) with collect set: the
 	// expansion step then yields the root branch vertices instead of
 	// recursing.
-	driver := newWorker(d)
-	driver.collect = make([]int32, 0, d.n)
-	driver.branchRoot()
-	tasks := driver.collect
-	driver.collect = nil
-	if len(tasks) == 0 || s.aborted.Load() {
+	driver := prep.getWorker(d)
+	tasks := driver.rootTasks()
+	if len(tasks) == 0 || s.halted() {
 		driver.flushNodes()
+		prep.putWorker(driver)
 		return
 	}
 
 	if workers <= 1 {
 		// Serial: recurse into each root branch on the driver.
 		for _, u := range tasks {
-			if s.aborted.Load() {
+			if s.halted() {
 				break
 			}
 			driver.runRootBranch(u)
 		}
 		driver.flushNodes()
+		prep.putWorker(driver)
 		return
 	}
 	// Parallel: workers pull root branches from a shared cursor; once
@@ -586,17 +755,20 @@ func (s *searcher) searchComponent(comp []int32, workers int) {
 		wg.Add(1)
 		wk := driver
 		if i > 0 {
-			wk = newWorker(d)
+			wk = prep.getWorker(d)
 		}
 		go func(wk *worker) {
 			defer wg.Done()
-			defer wk.flushNodes()
+			defer func() {
+				wk.flushNodes()
+				prep.putWorker(wk)
+			}()
 			for {
 				// The Load guard keeps the cursor bounded (at most one
 				// overshoot per worker): without it, every donation
 				// cycle would Add once more and a long run could wrap
 				// the counter past the task count into negative indices.
-				if !s.aborted.Load() && int(next.Load()) < len(tasks) {
+				if !s.halted() && int(next.Load()) < len(tasks) {
 					if t := next.Add(1) - 1; int(t) < len(tasks) {
 						wk.runRootBranch(tasks[t])
 						continue
@@ -613,6 +785,23 @@ func (s *searcher) searchComponent(comp []int32, workers int) {
 	}
 	wg.Wait()
 	d.steal = nil
+}
+
+// rootTasks runs the root node in collect mode and returns the root
+// branch vertices — the tasks a parallel split distributes. The
+// collect arena must be non-nil even when empty: expandBits/expandSlice
+// switch on `collect != nil`, so a nil buffer would silently degrade
+// the split (and the donation machinery behind it) to a serial search.
+func (w *worker) rootTasks() []int32 {
+	if w.collectBuf == nil {
+		w.collectBuf = make([]int32, 0, w.d.n)
+	}
+	w.collect = w.collectBuf[:0]
+	w.branchRoot()
+	tasks := w.collect
+	w.collect = nil
+	w.collectBuf = tasks[:0] // keep the (possibly grown) backing array
+	return tasks
 }
 
 // branchRoot enters the root node: R = ∅, C = the whole component.
@@ -718,7 +907,7 @@ func (w *worker) makeChildSlice(depth int, src []int32, u int32, declare bool) (
 // sides via the count-difference state machine (correction 8).
 func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits *graph.LiveRow, candSlice []int32) bool {
 	s := w.d.s
-	if s.aborted.Load() {
+	if s.halted() {
 		return false
 	}
 	w.countNode()
@@ -808,7 +997,7 @@ func (w *worker) expandBits(depth int, attr graph.Attr, declare bool, cnt [2]int
 	ncnt[attr]++
 	st := d.steal
 	w.forEachLive(src, am, func(u int32) bool {
-		if s.aborted.Load() {
+		if s.halted() {
 			return false
 		}
 		avail := w.makeChildBits(dst, src, u, declare)
@@ -882,7 +1071,7 @@ func (w *worker) expandSlice(depth int, c []int32, attr graph.Attr, declare bool
 		if d.comp.Attr(u) != attr {
 			continue
 		}
-		if s.aborted.Load() {
+		if s.halted() {
 			return
 		}
 		w.ensureSlice(depth+1, len(c))

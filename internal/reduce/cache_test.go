@@ -1,0 +1,130 @@
+package reduce
+
+import (
+	"sync"
+	"testing"
+
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+func randomGraph(seed uint64, n int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// The cache must answer repeats from memory and chain ascending-k
+// builds off the previous snapshot instead of the original graph.
+func TestCacheReuseAndChaining(t *testing.T) {
+	g := randomGraph(7, 40, 0.4)
+	c := NewCache(g)
+
+	s2 := c.Get(2)
+	if again := c.Get(2); again != s2 {
+		t.Fatal("repeat Get(2) did not return the cached snapshot")
+	}
+	s3 := c.Get(3)
+	if s3 == s2 {
+		t.Fatal("Get(3) returned the k=2 snapshot")
+	}
+	c.Get(3)
+	c.Get(2)
+
+	st := c.Stats()
+	if st.Builds != 2 {
+		t.Fatalf("builds = %d, want 2", st.Builds)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3", st.Hits)
+	}
+	if st.Chained != 1 {
+		t.Fatalf("chained = %d, want 1 (k=3 off the k=2 snapshot)", st.Chained)
+	}
+	// A chained snapshot can only shrink relative to its base.
+	if s3.Sub.G.N() > s2.Sub.G.N() || s3.Sub.G.M() > s2.Sub.G.M() {
+		t.Fatalf("k=3 snapshot (%dv/%de) larger than k=2 base (%dv/%de)",
+			s3.Sub.G.N(), s3.Sub.G.M(), s2.Sub.G.N(), s2.Sub.G.M())
+	}
+}
+
+// Chained snapshots must still map back to the original graph: every
+// surviving vertex keeps its attribute, every surviving edge exists in
+// the original.
+func TestCacheChainedMappingIsConsistent(t *testing.T) {
+	g := randomGraph(11, 36, 0.45)
+	c := NewCache(g)
+	c.Get(1)
+	for _, k := range []int32{2, 3, 4} {
+		snap := c.Get(k)
+		sub := snap.Sub
+		for v := int32(0); v < sub.G.N(); v++ {
+			if sub.G.Attr(v) != g.Attr(sub.ToParent[v]) {
+				t.Fatalf("k=%d: vertex %d attribute mismatch through ToParent", k, v)
+			}
+		}
+		for e := int32(0); e < sub.G.M(); e++ {
+			u, v := sub.G.Edge(e)
+			if !g.HasEdge(sub.ToParent[u], sub.ToParent[v]) {
+				t.Fatalf("k=%d: edge (%d,%d) not present in the original graph", k, u, v)
+			}
+		}
+	}
+}
+
+// The load-bearing invariant: a chained snapshot preserves the maximum
+// fair clique exactly, for every k it is queried at and every δ — the
+// same guarantee as a from-scratch pipeline run.
+func TestCacheChainedPreservesOptimum(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := randomGraph(seed, 30, 0.45)
+		c := NewCache(g)
+		for k := 1; k <= 4; k++ {
+			snap := c.Get(int32(k)) // k>1 builds chain off k-1
+			direct, _ := Pipeline(g, int32(k))
+			for _, delta := range []int{0, 1, 3} {
+				want := len(enum.MaxFairClique(g, k, delta))
+				got := len(enum.MaxFairClique(snap.Sub.G, k, delta))
+				if got != want {
+					t.Fatalf("seed=%d k=%d δ=%d: chained snapshot optimum %d, original %d",
+						seed, k, delta, got, want)
+				}
+				onDirect := len(enum.MaxFairClique(direct.G, k, delta))
+				if onDirect != want {
+					t.Fatalf("seed=%d k=%d δ=%d: direct pipeline optimum %d, original %d",
+						seed, k, delta, onDirect, want)
+				}
+			}
+		}
+	}
+}
+
+// Concurrent Gets (the session grid's regime) must be safe and must
+// still build each k exactly once. Run under -race by the race target.
+func TestCacheConcurrentGets(t *testing.T) {
+	g := randomGraph(3, 40, 0.4)
+	c := NewCache(g)
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Get(int32(1 + i%3))
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Builds != 3 {
+		t.Fatalf("builds = %d, want 3", st.Builds)
+	}
+}

@@ -1,0 +1,393 @@
+// Package session implements the multi-query engine: a Session freezes
+// one attributed graph and answers an arbitrary stream — or grid — of
+// maximum-fair-clique queries (k, δ) against it, amortizing everything
+// that is query-independent and letting queries warm-start each other.
+//
+// What is shared, and at which level:
+//
+//   - Reduction snapshots (internal/reduce.Cache): one pipeline run per
+//     distinct k, chained so the run for k reduces the snapshot of the
+//     largest smaller k instead of the original graph.
+//   - Prepared components (internal/core.Prepared): per k, the
+//     connected components, their peel-rank relabeling, the chunked
+//     successor masks, attribute histograms and recycled worker arenas
+//     are built once and shared by every query — including concurrent
+//     ones — at that k.
+//   - Incumbent warm-starts: every exact answer (and its clique) is
+//     pooled. A new query (k, δ) is seeded with the largest pooled
+//     clique that is itself (k, δ)-fair, and bounded above through the
+//     monotonicity lattice (internal/bounds.GridTable): opt(k, δ) <=
+//     opt(k', δ') whenever k' <= k and δ' >= δ. When the two meet, the
+//     query is answered with zero branching; otherwise the bound
+//     becomes core.Options.StopAtSize so the search stops the moment it
+//     proves optimality.
+//
+// Grid queries (FindGrid) are scheduled k-ascending, δ-descending —
+// the order that maximizes both chains: weak cells solve first and
+// bound/seed the strict ones — and run concurrently on a cell pool,
+// each cell with its own incumbent, on top of the engine's existing
+// intra-query root-split + donation parallelism.
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/core"
+	"fairclique/internal/graph"
+	"fairclique/internal/reduce"
+)
+
+// Options is the per-session configuration shared by every query. The
+// per-query knobs (k, δ) live in Query.
+type Options struct {
+	// UseBounds applies the advanced bound group plus Extra.
+	UseBounds bool
+	// Extra selects the additional Table II bound.
+	Extra bounds.Extra
+	// UseHeuristic seeds cold queries with HeurRFC. Warm queries (with
+	// a pooled seed) skip the heuristic: a previous exact answer is at
+	// least as good a lower bound.
+	UseHeuristic bool
+	// SkipReduction disables the reduction pipeline (ablation); all
+	// queries then share a single prepared view of the raw graph.
+	SkipReduction bool
+	// MaxNodes caps the branch nodes of each individual query (0 =
+	// unlimited). Aborted queries stay out of the monotonicity table.
+	MaxNodes int64
+	// Workers is the total branching parallelism. A single Find uses
+	// all of it inside the query (root split + donation); FindGrid
+	// spreads it across concurrent cells first and gives each cell the
+	// remainder.
+	Workers int
+}
+
+// Query is one (k, δ) cell. Weak and strong fairness are expressed by
+// the caller as δ = n and δ = 0 respectively (see the public wrapper).
+type Query struct {
+	K, Delta int32
+}
+
+// Stats aggregates the work of every query answered so far.
+type Stats struct {
+	// Queries is the number of Find/FindGrid cells answered.
+	Queries int64
+	// Nodes, Donations, BoundChecks and BoundPrunes sum the
+	// corresponding per-query search stats.
+	Nodes, Donations, BoundChecks, BoundPrunes int64
+	// ReductionBuilds counts reduction pipeline runs; ReductionChained
+	// is how many of them started from a smaller-k snapshot instead of
+	// the original graph.
+	ReductionBuilds, ReductionChained int64
+	// ReductionReuses counts queries that were answered on an
+	// already-prepared reduction (no pipeline run, no mask rebuild).
+	ReductionReuses int64
+	// WarmStarts counts queries whose incumbent was seeded from the
+	// clique pool; DominanceSkips counts queries answered with zero
+	// branching because the seed met the monotonicity bound (or the
+	// bound proved no clique exists).
+	WarmStarts, DominanceSkips int64
+}
+
+// poolClique is one discovered fair clique, kept as warm-start
+// material: clique A seeds any query (k, δ) with k <= min(na, nb) and
+// δ >= |na - nb|.
+type poolClique struct {
+	verts  []int32 // original graph ids; immutable once pooled
+	na, nb int32
+	diff   int32 // |na - nb|
+}
+
+// Session is a prepared multi-query engine over one frozen graph. It
+// is safe for concurrent use.
+type Session struct {
+	g    *graph.Graph
+	opt  Options
+	reds *reduce.Cache // nil when SkipReduction
+
+	mu    sync.Mutex
+	preps map[int32]*prepEntry
+	table bounds.GridTable
+	pool  []poolClique
+	stats Stats
+}
+
+// prepEntry builds a per-k core.Prepared exactly once, without holding
+// the session lock across the (potentially expensive) build.
+type prepEntry struct {
+	once sync.Once
+	p    *core.Prepared
+}
+
+// New freezes g into a session. The graph must not be mutated
+// afterwards.
+func New(g *graph.Graph, opt Options) *Session {
+	s := &Session{g: g, opt: opt, preps: make(map[int32]*prepEntry)}
+	if !opt.SkipReduction {
+		s.reds = reduce.NewCache(g)
+	}
+	return s
+}
+
+// Graph returns the frozen graph the session answers queries about.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// validate rejects malformed queries before any state is touched.
+func validate(q Query) error {
+	if q.K < 1 {
+		return fmt.Errorf("session: K must be >= 1, got %d", q.K)
+	}
+	if q.Delta < 0 {
+		return fmt.Errorf("session: Delta must be >= 0, got %d", q.Delta)
+	}
+	return nil
+}
+
+// Find answers a single query, reusing everything previous queries
+// built. The full Workers budget goes into this one search.
+func (s *Session) Find(q Query) (*core.Result, error) {
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	workers := s.opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return s.find(q, workers)
+}
+
+// FindGrid answers a batch of cells and returns results aligned with
+// qs. Cells are scheduled k-ascending then δ-descending so each solved
+// cell bounds and seeds the stricter ones, and run concurrently —
+// min(Workers, cells) cells in flight, the Workers budget split
+// between them. Every cell gets its own incumbent; the shared
+// monotonicity table and clique pool are read at cell start, so
+// concurrent cells reuse whatever has finished by then.
+func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
+	for _, q := range qs {
+		if err := validate(q); err != nil {
+			return nil, err
+		}
+	}
+	order := make([]int, len(qs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		qa, qb := qs[order[a]], qs[order[b]]
+		if qa.K != qb.K {
+			return qa.K < qb.K
+		}
+		return qa.Delta > qb.Delta
+	})
+
+	workers := s.opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cells := workers
+	if cells > len(qs) {
+		cells = len(qs)
+	}
+
+	results := make([]*core.Result, len(qs))
+	errs := make([]error, len(qs))
+	if cells <= 1 {
+		for _, i := range order {
+			results[i], errs[i] = s.find(qs[i], workers)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for c := 0; c < cells; c++ {
+			// Split the whole budget: the first workers%cells runners
+			// carry one extra worker so none of the requested
+			// parallelism is stranded by integer division.
+			perCell := workers / cells
+			if c < workers%cells {
+				perCell++
+			}
+			wg.Add(1)
+			go func(perCell int) {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = s.find(qs[i], perCell)
+				}
+			}(perCell)
+		}
+		for _, i := range order {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Stats returns a copy of the session's aggregated counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	if s.reds != nil {
+		rs := s.reds.Stats()
+		st.ReductionBuilds = rs.Builds
+		st.ReductionChained = rs.Chained
+		st.ReductionReuses += rs.Hits
+	}
+	return st
+}
+
+// find is the per-cell engine: monotonicity skip, warm-started search,
+// result registration.
+func (s *Session) find(q Query, workers int) (*core.Result, error) {
+	s.mu.Lock()
+	s.stats.Queries++
+	ub, haveUB := s.table.UpperBound(q.K, q.Delta)
+	seed := s.bestSeedLocked(q)
+	s.mu.Unlock()
+
+	if haveUB {
+		if ub < 2*q.K {
+			// Every (k, δ)-fair clique has at least 2k vertices, so the
+			// inherited bound proves this cell empty without branching.
+			s.mu.Lock()
+			s.stats.DominanceSkips++
+			s.table.Add(q.K, q.Delta, 0)
+			s.mu.Unlock()
+			return &core.Result{}, nil
+		}
+		if seed != nil && int32(len(seed)) == ub {
+			// The pooled clique meets the inherited upper bound: it IS
+			// a maximum fair clique for this cell.
+			s.mu.Lock()
+			s.stats.DominanceSkips++
+			s.table.Add(q.K, q.Delta, ub)
+			s.mu.Unlock()
+			return &core.Result{Clique: append([]int32(nil), seed...)}, nil
+		}
+	}
+
+	p := s.prepared(q.K)
+	opt := core.Options{
+		K:            int(q.K),
+		Delta:        int(q.Delta),
+		UseBounds:    s.opt.UseBounds,
+		Extra:        s.opt.Extra,
+		UseHeuristic: s.opt.UseHeuristic && seed == nil,
+		MaxNodes:     s.opt.MaxNodes,
+		Workers:      workers,
+	}
+	if haveUB {
+		opt.StopAtSize = int(ub)
+	}
+	res, err := p.Search(opt, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.stats.Nodes += res.Stats.Nodes
+	s.stats.Donations += res.Stats.Donations
+	s.stats.BoundChecks += res.Stats.BoundChecks
+	s.stats.BoundPrunes += res.Stats.BoundPrunes
+	if seed != nil {
+		s.stats.WarmStarts++
+	}
+	// Aborted (MaxNodes-capped) answers are inexact: they must enter
+	// neither the monotonicity table nor the warm-start pool (the
+	// documented contract — a capped answer is never reused).
+	if !res.Stats.Aborted {
+		s.table.Add(q.K, q.Delta, int32(res.Size()))
+		if res.Clique != nil {
+			s.addPoolLocked(res.Clique)
+		}
+	}
+	s.mu.Unlock()
+	return res, nil
+}
+
+// prepared returns the frozen search machinery for size constraint k,
+// building it at most once. With SkipReduction all k values share one
+// view of the raw graph (keyed 0).
+func (s *Session) prepared(k int32) *core.Prepared {
+	key := k
+	if s.opt.SkipReduction {
+		key = 0
+	}
+	s.mu.Lock()
+	e, ok := s.preps[key]
+	if !ok {
+		e = &prepEntry{}
+		s.preps[key] = e
+	} else {
+		s.stats.ReductionReuses++
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		if s.opt.SkipReduction {
+			ids := make([]int32, s.g.N())
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			e.p = core.PrepareReduced(s.g, ids)
+		} else {
+			snap := s.reds.Get(k)
+			e.p = core.PrepareReduced(snap.Sub.G, snap.Sub.ToParent)
+		}
+	})
+	return e.p
+}
+
+// bestSeedLocked returns the largest pooled clique that is itself
+// (k, δ)-fair, or nil. Pool entries are immutable, so the slice may be
+// handed to the search as-is.
+func (s *Session) bestSeedLocked(q Query) []int32 {
+	var best []int32
+	for _, c := range s.pool {
+		if c.na >= q.K && c.nb >= q.K && c.diff <= q.Delta && len(c.verts) > len(best) {
+			best = c.verts
+		}
+	}
+	return best
+}
+
+// addPoolLocked pools a discovered fair clique for future warm-starts,
+// keeping only the Pareto frontier: clique A supersedes B when A is
+// valid wherever B is (min count >= , diff <=) and at least as large.
+func (s *Session) addPoolLocked(clique []int32) {
+	na, nb := s.g.CountAttrs(clique)
+	c := poolClique{
+		verts: append([]int32(nil), clique...),
+		na:    int32(na), nb: int32(nb),
+	}
+	if c.diff = c.na - c.nb; c.diff < 0 {
+		c.diff = -c.diff
+	}
+	minC := func(p poolClique) int32 {
+		if p.na < p.nb {
+			return p.na
+		}
+		return p.nb
+	}
+	for _, e := range s.pool {
+		if minC(e) >= minC(c) && e.diff <= c.diff && len(e.verts) >= len(c.verts) {
+			return // dominated by an existing entry
+		}
+	}
+	kept := s.pool[:0]
+	for _, e := range s.pool {
+		if minC(c) >= minC(e) && c.diff <= e.diff && len(c.verts) >= len(e.verts) {
+			continue // the new entry supersedes e
+		}
+		kept = append(kept, e)
+	}
+	s.pool = append(kept, c)
+}

@@ -1,0 +1,203 @@
+package fairclique
+
+import (
+	"math/bits"
+	"testing"
+
+	"fairclique/internal/rng"
+)
+
+// This file is the suite's ground-truth oracle: an exhaustive subset
+// enumeration written from the Definition 1 text alone — no shared
+// code with the engine, the enumeration baseline or the reduction
+// pipeline — so an agreement here is engine-vs-truth, not
+// engine-vs-engine.
+
+// bruteForce enumerates all 2^n vertex subsets of g (n <= 18) and
+// returns, for every attribute-count pair (na, nb) realized by at
+// least one clique, a witness clique. Fairness constraints are applied
+// by the caller on top.
+type bruteForce struct {
+	n       int
+	witness map[[2]int][]int // (na, nb) -> one clique with those counts
+}
+
+func newBruteForce(t *testing.T, g *Graph) *bruteForce {
+	t.Helper()
+	n := g.N()
+	if n > 18 {
+		t.Fatalf("oracle fixture has %d vertices; the exhaustive oracle caps at 18", n)
+	}
+	adj := make([]uint32, n)
+	attrA := uint32(0)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			adj[v] |= 1 << uint(w)
+		}
+		if g.Attr(v) == AttrA {
+			attrA |= 1 << uint(v)
+		}
+	}
+	bf := &bruteForce{n: n, witness: make(map[[2]int][]int)}
+	for s := uint32(0); s < 1<<uint(n); s++ {
+		// Clique test: every member must be adjacent to all others.
+		ok := true
+		for m := s; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros32(m)
+			if s&^(1<<uint(v))&^adj[v] != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		na := bits.OnesCount32(s & attrA)
+		nb := bits.OnesCount32(s &^ attrA)
+		key := [2]int{na, nb}
+		if _, seen := bf.witness[key]; !seen {
+			verts := make([]int, 0, na+nb)
+			for m := s; m != 0; m &= m - 1 {
+				verts = append(verts, bits.TrailingZeros32(m))
+			}
+			bf.witness[key] = verts
+		}
+	}
+	return bf
+}
+
+// opt returns the true maximum (k, δ)-relative fair clique size and a
+// witness (nil when no fair clique exists). δ < 0 encodes the weak
+// model (no balance constraint).
+func (bf *bruteForce) opt(k, delta int) (int, []int) {
+	best, bestKey := 0, [2]int{-1, -1}
+	for key := range bf.witness {
+		na, nb := key[0], key[1]
+		if na < k || nb < k {
+			continue
+		}
+		if delta >= 0 {
+			diff := na - nb
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > delta {
+				continue
+			}
+		}
+		if na+nb > best {
+			best, bestKey = na+nb, key
+		}
+	}
+	if best == 0 {
+		return 0, nil
+	}
+	return best, bf.witness[bestKey]
+}
+
+// Find, Session.Find and IsFairClique must all agree with the
+// exhaustive ground truth on the maximum weak, strong and relative
+// fair cliques of small random graphs.
+func TestBruteForceOracleAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive oracle in -short mode")
+	}
+	densities := []float64{0.3, 0.5, 0.7}
+	for seed := uint64(0); seed < 6; seed++ {
+		n := 13 + int(seed)%6 // 13..18 vertices
+		g := buildRandom(seed+900, n, densities[seed%3])
+		bf := newBruteForce(t, g)
+		s := NewSession(g)
+		for k := 1; k <= 3; k++ {
+			cases := []struct {
+				name  string
+				delta int // as passed to IsFairClique; -1 = weak
+				spec  QuerySpec
+			}{
+				{"strong", 0, QuerySpec{K: k, Mode: ModeStrong}},
+				{"weak", -1, QuerySpec{K: k, Mode: ModeWeak}},
+				{"relative-d1", 1, QuerySpec{K: k, Delta: 1}},
+				{"relative-d2", 2, QuerySpec{K: k, Delta: 2}},
+			}
+			for _, tc := range cases {
+				want, witness := bf.opt(k, tc.delta)
+				isDelta := tc.delta
+				if isDelta < 0 {
+					isDelta = n // weak = relative with δ = |V|
+				}
+				// The oracle's own witness must pass IsFairClique —
+				// truth and the public validity check agree.
+				if witness != nil && !g.IsFairClique(witness, k, isDelta) {
+					t.Fatalf("seed=%d k=%d %s: IsFairClique rejects the oracle witness %v",
+						seed, k, tc.name, witness)
+				}
+				// One-shot engine.
+				find := independentFind(t, g, tc.spec, UBColorfulDegeneracy)
+				if find.Size() != want {
+					t.Fatalf("seed=%d k=%d %s: Find %d, oracle %d",
+						seed, k, tc.name, find.Size(), want)
+				}
+				if want > 0 && !g.IsFairClique(find.Clique, k, isDelta) {
+					t.Fatalf("seed=%d k=%d %s: Find clique invalid", seed, k, tc.name)
+				}
+				// Warm session engine.
+				sres, err := s.Find(tc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sres.Size() != want {
+					t.Fatalf("seed=%d k=%d %s: Session.Find %d, oracle %d",
+						seed, k, tc.name, sres.Size(), want)
+				}
+				if want > 0 && !g.IsFairClique(sres.Clique, k, isDelta) {
+					t.Fatalf("seed=%d k=%d %s: Session clique invalid", seed, k, tc.name)
+				}
+			}
+		}
+	}
+}
+
+// IsFairClique itself differentially tested against a from-scratch
+// check on random vertex subsets (clique-ness via HasEdge, counts via
+// Attr) — the validity predicate the whole differential wall leans on
+// must match first principles.
+func TestIsFairCliqueMatchesFirstPrinciples(t *testing.T) {
+	r := rng.New(77)
+	for seed := uint64(0); seed < 4; seed++ {
+		g := buildRandom(seed+300, 16, 0.5)
+		n := g.N()
+		for trial := 0; trial < 200; trial++ {
+			size := 1 + r.Intn(6)
+			verts := r.Sample(n, size)
+			k := 1 + r.Intn(3)
+			delta := r.Intn(3)
+
+			clique := true
+			for i := 0; i < len(verts) && clique; i++ {
+				for j := i + 1; j < len(verts); j++ {
+					if !g.HasEdge(verts[i], verts[j]) {
+						clique = false
+						break
+					}
+				}
+			}
+			na, nb := 0, 0
+			for _, v := range verts {
+				if g.Attr(v) == AttrA {
+					na++
+				} else {
+					nb++
+				}
+			}
+			diff := na - nb
+			if diff < 0 {
+				diff = -diff
+			}
+			want := clique && na >= k && nb >= k && diff <= delta
+			if got := g.IsFairClique(verts, k, delta); got != want {
+				t.Fatalf("seed=%d trial=%d verts=%v k=%d δ=%d: IsFairClique=%v, first principles=%v",
+					seed, trial, verts, k, delta, got, want)
+			}
+		}
+	}
+}
