@@ -27,19 +27,25 @@ race: test-race
 # 1-vs-4 wall-clock comparison of the branch-and-bound engine on the
 # >4096-vertex single-component instance (chunked candidate rows), plus
 # the multi-query session experiment (9-cell grid, amortized vs
-# independent) embedded under "grid". Future engine PRs compare against
-# the committed record (bench-check).
+# independent) embedded under "grid" and the dynamic-session experiment
+# (single-edge Apply+requery vs NewSession+requery) embedded under
+# "delta". Future engine PRs compare against the committed record
+# (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
 	$(GO) run ./cmd/benchmark -exp grid -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp delta -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a
 # per-workers delta table and fails loudly when nodes/sec regresses by
-# more than 10% on the same instance.
+# more than 10% on the same instance. The grid and delta experiments
+# hard-fail when a session answer diverges from its independent run.
+# CI uploads the fresh records as a workflow artifact (see ci.yml).
 bench-check:
 	$(GO) run ./cmd/benchmark -exp core -scale $(BENCH_SCALE) -baseline BENCH_core.json -out /tmp/BENCH_core.new.json
 	$(GO) run ./cmd/benchmark -exp grid -scale $(BENCH_SCALE) -out /tmp/BENCH_grid.new.json
+	$(GO) run ./cmd/benchmark -exp delta -scale $(BENCH_SCALE) -out /tmp/BENCH_delta.new.json
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

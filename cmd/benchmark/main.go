@@ -10,13 +10,16 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. Two extra experiments always emit JSON
+// casestudies, ablation, all. Three extra experiments always emit JSON
 // and feed BENCH_core.json, the repo's perf trajectory: "core"
 // benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
-// single-giant-component graph), and "grid" measures the multi-query
-// session — a 9-cell (k, δ) grid answered by one warm Session versus
-// independent Find calls (use -merge BENCH_core.json to embed the
-// record; `make bench` runs both).
+// single-giant-component graph), "grid" measures the multi-query
+// session — a (k, δ) grid answered by one warm Session versus
+// independent Find calls (-grid overrides the canonical 9 cells) —
+// and "delta" measures the dynamic session: a single-edge Apply plus
+// requery on a warm Session versus NewSession plus requery on the
+// mutated graph (use -merge BENCH_core.json to embed the records;
+// `make bench` runs all three).
 package main
 
 import (
@@ -36,7 +39,8 @@ func main() {
 		format   = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
 		maxNodes = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
 		baseline = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
-		merge    = flag.String("merge", "", "for -exp grid: existing BENCH_core.json to embed the grid record into")
+		merge    = flag.String("merge", "", "for -exp grid/delta: existing BENCH_core.json to embed the record into")
+		gridSpec = flag.String("grid", "", "for -exp grid: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
 	)
 	flag.Parse()
 
@@ -50,7 +54,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	cfg := bench.Config{Scale: *scale, Out: w, MaxNodes: *maxNodes}
+	cfg := bench.Config{Scale: *scale, Out: w, MaxNodes: *maxNodes, GridSpec: *gridSpec}
 
 	start := time.Now()
 	if *exp == "core" {
@@ -65,13 +69,25 @@ func main() {
 	}
 	if *exp == "grid" {
 		// The multi-query amortization experiment: one session FindGrid
-		// versus independent Find calls on the same 9-cell (k, δ) grid.
-		// JSON-only; -merge embeds it into the committed core record.
+		// versus independent Find calls on the same (k, δ) grid (-grid
+		// overrides the canonical 9 cells). JSON-only; -merge embeds it
+		// into the committed core record.
 		if err := bench.WriteGridBench(cfg, w, *merge); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: grid session bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "delta" {
+		// The dynamic-session experiment: single-edge Apply+requery on a
+		// warm session versus NewSession+requery on the mutated graph.
+		// JSON-only; -merge embeds it under "delta".
+		if err := bench.WriteDeltaBench(cfg, w, *merge); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: delta session bench finished in %v\n", time.Since(start))
 		return
 	}
 	switch *format {

@@ -61,3 +61,42 @@ func TestCLIOutFile(t *testing.T) {
 		t.Fatalf("output file missing table:\n%s", data)
 	}
 }
+
+// The benchmark CLI shares the grid-spec parsing with cmd/mfc: a
+// descending range must be a usage error, and a custom ascending spec
+// must drive the grid experiment.
+func TestCLIGridSpecRanges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	out, err := runCLI(t, "-exp", "grid", "-scale", "0.1", "-grid", "k=4..2,delta=1..3")
+	if err == nil {
+		t.Fatalf("descending grid range accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "descending range") {
+		t.Fatalf("missing usage error:\n%s", out)
+	}
+	out, err = runCLI(t, "-exp", "grid", "-scale", "0.1", "-grid", "k=2..3,delta=2..2")
+	if err != nil {
+		t.Fatalf("benchmark -exp grid -grid failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"grid_spec": "k=2..3,delta=2..2"`) || !strings.Contains(out, `"all_match": true`) {
+		t.Fatalf("custom grid spec not honoured:\n%s", out)
+	}
+}
+
+// -exp delta emits the dynamic-session record with both scenarios.
+func TestCLIDeltaExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	out, err := runCLI(t, "-exp", "delta", "-scale", "0.1")
+	if err != nil {
+		t.Fatalf("benchmark -exp delta failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"insert-shell-chord"`, `"delete-shell-edge"`, `"sizes_match": true`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta record missing %s:\n%s", want, out)
+		}
+	}
+}

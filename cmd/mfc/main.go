@@ -9,24 +9,34 @@
 //	mfc -graph g.txt -k 3 -reduce                # reduction pipeline only
 //	mfc -graph g.txt -k 3 -delta 1 -enum         # Bron-Kerbosch baseline
 //	mfc -graph g.txt -grid 'k=2..4,delta=1..3'   # multi-query session grid
+//	mfc -graph g.txt -k 3 -delta 1 -apply '+e:0:5 -e:1:2'   # dynamic session
+//	mfc -graph g.txt -repl                       # interactive session REPL
 //
 // The -grid form answers every (k, δ) cell of the given ranges through
 // one warm fairclique.Session, so the reduction, ordering and successor
 // masks are built once and the cells warm-start each other. A
 // mode=weak or mode=strong entry switches the whole grid to that
 // fairness model (the delta range is then ignored).
+//
+// The -apply form runs the query (or grid) on a session, applies the
+// given delta — see the op syntax in internal/cli.ParseDelta: +e:U:V,
+// -e:U:V, +v:a|b, -v:ID — and re-answers on the mutated graph, printing
+// what the incremental invalidation retained. The -repl form reads
+// find/grid/apply/stats commands from stdin against one long-lived
+// session (try "help").
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
 	"fairclique"
+	"fairclique/internal/cli"
 )
 
 var boundNames = map[string]fairclique.UpperBound{
@@ -53,6 +63,8 @@ func main() {
 		maxNodes   = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
 		workers    = flag.Int("workers", 1, "parallel branching workers (root branches are split inside each component)")
 		grid       = flag.String("grid", "", "answer a (k, delta) grid on one warm session, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
+		applySpec  = flag.String("apply", "", "apply a graph delta on a warm session and re-answer, e.g. '+e:0:5 -e:1:2 +v:a -v:7'")
+		repl       = flag.Bool("repl", false, "interactive session REPL on stdin (find/grid/apply/stats; see 'help')")
 		quiet      = flag.Bool("q", false, "print only the clique size")
 	)
 	flag.Parse()
@@ -68,23 +80,44 @@ func main() {
 		fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 	}
 
-	if *grid != "" {
+	sessionOpts := func() fairclique.SessionOptions {
 		ub, ok := boundNames[*bound]
 		if !ok {
 			fatal(fmt.Errorf("unknown bound %q (want ad, deg, h, cd, ch or cp)", *bound))
 		}
-		specs, err := parseGrid(*grid)
-		if err != nil {
-			fatal(err)
-		}
-		runGrid(g, specs, fairclique.SessionOptions{
+		return fairclique.SessionOptions{
 			Bound:            ub,
 			DisableBounds:    *noBounds,
 			DisableHeuristic: *noHeur,
 			DisableReduction: *noReduce,
 			MaxNodes:         *maxNodes,
 			Workers:          *workers,
-		}, *quiet)
+		}
+	}
+
+	if *repl {
+		runREPL(g, sessionOpts())
+		return
+	}
+
+	if *grid != "" || *applySpec != "" {
+		specs := []fairclique.QuerySpec{{K: *k, Delta: *delta}}
+		if *grid != "" {
+			var err error
+			specs, err = parseGrid(*grid)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if *applySpec == "" {
+			runGrid(g, specs, sessionOpts(), *quiet)
+			return
+		}
+		d, err := parseDelta(*applySpec)
+		if err != nil {
+			fatal(err)
+		}
+		runApply(g, specs, d, sessionOpts(), *quiet)
 		return
 	}
 
@@ -170,73 +203,44 @@ func report(g *fairclique.Graph, clique []int, quiet bool, elapsed time.Duration
 	fmt.Printf("vertices: %v\n", sorted)
 }
 
-// parseRange parses "2" or "2..4" into an inclusive [lo, hi].
-func parseRange(s string) (lo, hi int, err error) {
-	if a, b, ok := strings.Cut(s, ".."); ok {
-		lo, err = strconv.Atoi(a)
-		if err != nil {
-			return 0, 0, fmt.Errorf("bad range %q", s)
-		}
-		hi, err = strconv.Atoi(b)
-		if err != nil || hi < lo {
-			return 0, 0, fmt.Errorf("bad range %q", s)
-		}
-		return lo, hi, nil
-	}
-	lo, err = strconv.Atoi(s)
-	if err != nil {
-		return 0, 0, fmt.Errorf("bad range %q", s)
-	}
-	return lo, lo, nil
-}
-
-// parseGrid expands a grid spec like "k=2..4,delta=1..3" (optionally
-// "mode=weak|strong|relative") into the cross product of query cells.
+// parseGrid expands a grid spec into query cells; the parsing itself —
+// including the rejection of descending and empty ranges — is shared
+// with cmd/benchmark through internal/cli.
 func parseGrid(spec string) ([]fairclique.QuerySpec, error) {
-	kLo, kHi := 2, 2
-	dLo, dHi := 1, 1
-	mode := fairclique.ModeRelative
-	for _, part := range strings.Split(spec, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("grid: expected key=value, got %q", part)
-		}
-		var err error
-		switch key {
-		case "k":
-			kLo, kHi, err = parseRange(val)
-		case "delta":
-			dLo, dHi, err = parseRange(val)
-		case "mode":
-			switch val {
-			case "relative":
-				mode = fairclique.ModeRelative
-			case "weak":
-				mode = fairclique.ModeWeak
-			case "strong":
-				mode = fairclique.ModeStrong
-			default:
-				err = fmt.Errorf("grid: unknown mode %q (want relative, weak or strong)", val)
-			}
-		default:
-			err = fmt.Errorf("grid: unknown key %q (want k, delta or mode)", key)
-		}
-		if err != nil {
-			return nil, err
-		}
+	cells, err := cli.ParseGrid(spec)
+	if err != nil {
+		return nil, err
 	}
-	var specs []fairclique.QuerySpec
-	for k := kLo; k <= kHi; k++ {
-		if mode != fairclique.ModeRelative {
-			// Weak/strong fix δ themselves; one cell per k.
-			specs = append(specs, fairclique.QuerySpec{K: k, Mode: mode})
-			continue
-		}
-		for d := dLo; d <= dHi; d++ {
-			specs = append(specs, fairclique.QuerySpec{K: k, Delta: d})
+	specs := make([]fairclique.QuerySpec, len(cells))
+	for i, c := range cells {
+		specs[i] = fairclique.QuerySpec{K: c.K, Delta: c.Delta}
+		switch c.Mode {
+		case cli.ModeWeak:
+			specs[i].Mode = fairclique.ModeWeak
+		case cli.ModeStrong:
+			specs[i].Mode = fairclique.ModeStrong
 		}
 	}
 	return specs, nil
+}
+
+// parseDelta maps a cli delta spec onto the public Delta type.
+func parseDelta(spec string) (fairclique.Delta, error) {
+	gd, err := cli.ParseDelta(spec)
+	if err != nil {
+		return fairclique.Delta{}, err
+	}
+	d := fairclique.Delta{AddVertices: gd.AddVertices}
+	for _, e := range gd.AddEdges {
+		d.AddEdges = append(d.AddEdges, [2]int{int(e[0]), int(e[1])})
+	}
+	for _, e := range gd.DelEdges {
+		d.DelEdges = append(d.DelEdges, [2]int{int(e[0]), int(e[1])})
+	}
+	for _, v := range gd.DelVertices {
+		d.DelVertices = append(d.DelVertices, int(v))
+	}
+	return d, nil
 }
 
 // runGrid answers every cell through one warm session and prints the
@@ -249,6 +253,16 @@ func runGrid(g *fairclique.Graph, specs []fairclique.QuerySpec, opt fairclique.S
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	printCells(specs, results, quiet)
+	if quiet {
+		return
+	}
+	fmt.Printf("grid: %d cells in %.2f ms\n", len(specs), float64(elapsed.Microseconds())/1000)
+	printSessionStats(s)
+}
+
+// printCells prints per-cell answers of a grid run.
+func printCells(specs []fairclique.QuerySpec, results []*fairclique.Result, quiet bool) {
 	for i, spec := range specs {
 		res := results[i]
 		if quiet {
@@ -269,13 +283,163 @@ func runGrid(g *fairclique.Graph, specs []fairclique.QuerySpec, opt fairclique.S
 		fmt.Printf("%-14s size %2d  (%d a, %d b)  %d nodes%s\n",
 			cell, res.Size(), res.CountA, res.CountB, res.Stats.Nodes, note)
 	}
-	if quiet {
-		return
+}
+
+// runApply demonstrates the dynamic session: answer the cells, apply
+// the delta, re-answer on the mutated graph, and print what the
+// component-scoped invalidation retained.
+func runApply(g *fairclique.Graph, specs []fairclique.QuerySpec, d fairclique.Delta, opt fairclique.SessionOptions, quiet bool) {
+	s := fairclique.NewSession(g, opt)
+	results, err := s.FindGrid(specs)
+	if err != nil {
+		fatal(err)
 	}
+	if !quiet {
+		fmt.Println("before delta:")
+	}
+	printCells(specs, results, quiet)
+
+	start := time.Now()
+	ast, err := s.Apply(d)
+	if err != nil {
+		fatal(err)
+	}
+	applyElapsed := time.Since(start)
+	start = time.Now()
+	results, err = s.FindGrid(specs)
+	if err != nil {
+		fatal(err)
+	}
+	requeryElapsed := time.Since(start)
+	if !quiet {
+		fmt.Printf("delta: +%d edges, -%d edges, +%d vertices -> epoch %d (%.2f ms)\n",
+			ast.InsertedEdges, ast.DeletedEdges, ast.NewVertices, ast.Epoch,
+			float64(applyElapsed.Microseconds())/1000)
+		fmt.Printf("retained: %d component preps, %d/%d snapshots verbatim, %d/%d pool seeds\n",
+			ast.CompPrepsReused, ast.SnapshotsReused, ast.SnapshotsReused+ast.SnapshotsPatched,
+			ast.PoolRetained, ast.PoolRetained+ast.PoolDropped)
+		fmt.Printf("after delta (%.2f ms):\n", float64(requeryElapsed.Microseconds())/1000)
+	}
+	printCells(specs, results, quiet)
+	if !quiet {
+		printSessionStats(s)
+	}
+}
+
+// printSessionStats prints the session's amortization counters.
+func printSessionStats(s *fairclique.Session) {
 	st := s.Stats()
-	fmt.Printf("grid: %d cells in %.2f ms\n", len(specs), float64(elapsed.Microseconds())/1000)
-	fmt.Printf("session: %d nodes, %d reduction builds (%d chained), %d reuses, %d warm starts, %d dominance skips\n",
-		st.Nodes, st.ReductionBuilds, st.ReductionChained, st.ReductionReuses, st.WarmStarts, st.DominanceSkips)
+	fmt.Printf("session: %d queries, %d nodes, %d reduction builds (%d chained), %d reuses, %d warm starts, %d dominance skips\n",
+		st.Queries, st.Nodes, st.ReductionBuilds, st.ReductionChained, st.ReductionReuses, st.WarmStarts, st.DominanceSkips)
+	if st.Applies > 0 {
+		fmt.Printf("dynamic: %d applies (epoch %d), %d comp preps reused, %d/%d snapshots verbatim, pool %d kept / %d dropped\n",
+			st.Applies, st.Epoch, st.CompPrepsReused, st.SnapshotsReused,
+			st.SnapshotsReused+st.SnapshotsPatched, st.PoolRetained, st.PoolDropped)
+	}
+}
+
+// runREPL drives one long-lived session interactively: queries and
+// deltas interleave on stdin, mirroring the service regime.
+func runREPL(g *fairclique.Graph, opt fairclique.SessionOptions) {
+	s := fairclique.NewSession(g, opt)
+	fmt.Printf("session ready: %d vertices, %d edges (try 'help')\n", s.N(), s.M())
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case "quit", "exit", "q":
+			return
+		case "help":
+			fmt.Println(`commands:
+  find K DELTA        one (k, δ) relative query
+  find K weak|strong  one weak/strong query
+  grid SPEC           e.g. grid k=2..4,delta=1..3
+  apply OPS           e.g. apply +e:0:5 -e:1:2 +v:a -v:7
+  stats               session amortization counters
+  graph               current graph size
+  quit`)
+		case "graph":
+			fmt.Printf("graph: %d vertices, %d edges\n", s.N(), s.M())
+		case "stats":
+			printSessionStats(s)
+		case "find":
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				fmt.Println("usage: find K DELTA | find K weak|strong")
+				continue
+			}
+			klo, khi, err := cli.ParseRange(fields[0])
+			if err != nil || klo != khi {
+				fmt.Println("usage: find K DELTA (single k)")
+				continue
+			}
+			spec := fairclique.QuerySpec{K: klo}
+			switch fields[1] {
+			case "weak":
+				spec.Mode = fairclique.ModeWeak
+			case "strong":
+				spec.Mode = fairclique.ModeStrong
+			default:
+				dlo, dhi, err := cli.ParseRange(fields[1])
+				if err != nil || dlo != dhi {
+					fmt.Println("usage: find K DELTA (single delta; use 'grid' for ranges)")
+					continue
+				}
+				spec.Delta = dlo
+			}
+			start := time.Now()
+			res, err := s.Find(spec)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printCells([]fairclique.QuerySpec{spec}, []*fairclique.Result{res}, false)
+			fmt.Printf("(%.2f ms)\n", float64(time.Since(start).Microseconds())/1000)
+		case "grid":
+			specs, err := parseGrid(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			start := time.Now()
+			results, err := s.FindGrid(specs)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printCells(specs, results, false)
+			fmt.Printf("grid: %d cells in %.2f ms\n", len(specs), float64(time.Since(start).Microseconds())/1000)
+		case "apply":
+			d, err := parseDelta(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			start := time.Now()
+			ast, err := s.Apply(d)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("epoch %d: +%d edges, -%d edges, +%d vertices; retained %d comp preps, %d/%d snapshots, %d/%d seeds (%.2f ms)\n",
+				ast.Epoch, ast.InsertedEdges, ast.DeletedEdges, ast.NewVertices,
+				ast.CompPrepsReused, ast.SnapshotsReused, ast.SnapshotsReused+ast.SnapshotsPatched,
+				ast.PoolRetained, ast.PoolRetained+ast.PoolDropped,
+				float64(time.Since(start).Microseconds())/1000)
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -198,3 +198,86 @@ func TestCLIModes(t *testing.T) {
 		t.Fatal("missing file should fail")
 	}
 }
+
+// The grid range parsing — shared with cmd/benchmark through
+// internal/cli — must reject descending and empty ranges with a usage
+// error rather than expanding to a silently empty (or wrong) grid.
+func TestParseGridRejectsMalformedRanges(t *testing.T) {
+	cases := []string{
+		"k=4..2,delta=1..3", // descending k
+		"k=2..4,delta=3..1", // descending delta
+		"k=..4", "k=2..", "k=..", "delta=..2",
+		"k=", "delta=x..2", "k=2..y",
+	}
+	for _, spec := range cases {
+		if specs, err := parseGrid(spec); err == nil {
+			t.Errorf("parseGrid(%q) yielded %d cells, want usage error", spec, len(specs))
+		}
+	}
+}
+
+// End to end: a descending range must exit non-zero with the usage
+// error on stderr, never print an empty grid.
+func TestCLIGridDescendingRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := writeFixture(t)
+	out, err := runCLI(t, "-graph", path, "-grid", "k=4..2,delta=1..3")
+	if err == nil {
+		t.Fatalf("descending range accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "descending range") {
+		t.Fatalf("missing usage error:\n%s", out)
+	}
+}
+
+// The -apply flow answers, mutates, re-answers: deleting a K6 edge
+// drops the optimum from 6 to 5, and the session must say what it
+// retained.
+func TestCLIApply(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := writeFixture(t)
+	out, err := runCLI(t, "-graph", path, "-k", "2", "-delta", "1", "-apply", "-e:0:1")
+	if err != nil {
+		t.Fatalf("mfc -apply failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "before delta:") || !strings.Contains(out, "after delta") {
+		t.Fatalf("missing before/after sections:\n%s", out)
+	}
+	if !strings.Contains(out, "size  6") || !strings.Contains(out, "size  5") {
+		t.Fatalf("expected optimum 6 -> 5:\n%s", out)
+	}
+	if !strings.Contains(out, "retained:") || !strings.Contains(out, "dynamic: 1 applies") {
+		t.Fatalf("missing invalidation accounting:\n%s", out)
+	}
+	// Malformed delta specs are usage errors.
+	if _, err := runCLI(t, "-graph", path, "-apply", "+e:1"); err == nil {
+		t.Fatal("malformed delta spec should fail")
+	}
+}
+
+// The REPL interleaves queries and deltas on one session.
+func TestCLIREPL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	path := writeFixture(t)
+	cmd := exec.Command("go", "run", ".", "-graph", path, "-repl")
+	cmd.Stdin = strings.NewReader("find 2 1\napply -e:0:1\nfind 2 1\nstats\nquit\n")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("mfc -repl failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "size  6") || !strings.Contains(s, "size  5") {
+		t.Fatalf("REPL answers wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "epoch 1:") || !strings.Contains(s, "dynamic: 1 applies") {
+		t.Fatalf("REPL apply/stats output missing:\n%s", s)
+	}
+}

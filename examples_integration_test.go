@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/reduction", "with reduction"},
 		{"./examples/fairnessmodels", "strong"},
 		{"./examples/sessiongrid", "dominance skips"},
+		{"./examples/dynamic", "component preps reused"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -10,9 +10,11 @@
 //   - Graph construction (NewGraph / builder methods, text IO),
 //   - Find: the exact MaxRFC branch-and-bound with the paper's
 //     reduction pipeline, upper bounds and heuristic seeding,
-//   - NewSession: a prepared multi-query engine that freezes the graph
-//     once and answers a grid of (k, δ, mode) queries with shared
-//     preprocessing and cross-query warm-starts,
+//   - NewSession: a prepared multi-query engine that prepares the
+//     graph once and answers a grid of (k, δ, mode) queries with
+//     shared preprocessing and cross-query warm-starts; Session.Apply
+//     mutates the graph with batched edge/vertex deltas, invalidating
+//     only the components the delta touches,
 //   - Heuristic: the linear-time HeurRFC approximation,
 //   - Reduce: the colorful-support reduction pipeline on its own,
 //   - Enumerate: the Bron–Kerbosch baseline.
@@ -400,6 +402,14 @@ type SessionOptions struct {
 	// Workers is the total branching parallelism: a single Find spends
 	// it inside the query, FindGrid spreads it across concurrent cells.
 	Workers int
+	// MaxPreparedK bounds how many distinct k values keep their
+	// prepared state (reduction snapshot, component machinery) warm in
+	// a long-lived session; beyond the cap the least recently used k is
+	// evicted and transparently rebuilt on demand. 0 = unlimited.
+	MaxPreparedK int
+	// MaxPoolSeeds bounds the warm-start clique pool, dropping the
+	// smallest pooled cliques first. 0 = unlimited.
+	MaxPoolSeeds int
 }
 
 // SessionStats aggregates the work of all queries a Session has
@@ -420,24 +430,50 @@ type SessionStats struct {
 	// DominanceSkips counts queries answered with zero branching
 	// because a previous answer already proved the optimum.
 	WarmStarts, DominanceSkips int64
+	// Applies counts graph deltas applied to the session; Epoch is the
+	// current graph generation (0 before the first Apply).
+	Applies, Epoch int64
+	// SnapshotsPatched and SnapshotsReused count per-k reduction
+	// snapshots that an Apply re-reduced on the delta's dirty region
+	// only, versus carried over verbatim.
+	SnapshotsPatched, SnapshotsReused int64
+	// CompPrepsReused counts per-component search machinery (peel-rank
+	// relabeling, successor masks, worker arenas) adopted across an
+	// Apply instead of rebuilt — the receipt that invalidation is
+	// component-scoped.
+	CompPrepsReused int64
+	// PoolRetained and PoolDropped count warm-start cliques that
+	// survived an Apply versus ones destroyed by its deletions.
+	PoolRetained, PoolDropped int64
+	// PrepEvictions counts per-k prepared states evicted by the
+	// MaxPreparedK cap.
+	PrepEvictions int64
 }
 
-// Session freezes a graph once — CSR, reduction snapshots per k,
-// peel-rank relabeling, per-component chunked successor masks,
-// attribute histograms — and answers any number of (k, δ, mode)
-// queries against it without repeating that work. Queries also
-// warm-start each other: every exact answer seeds the incumbent of
-// later compatible queries and upper-bounds stricter cells through
-// monotonicity (opt(k, δ) <= opt(k', δ') for k' <= k, δ' >= δ), so a
-// grid of related queries costs far less than independent Find calls.
+// Session prepares a graph — CSR, reduction snapshots per k, peel-rank
+// relabeling, per-component chunked successor masks, attribute
+// histograms — and answers any number of (k, δ, mode) queries against
+// it without repeating that work. Queries also warm-start each other:
+// every exact answer seeds the incumbent of later compatible queries
+// and upper-bounds stricter cells through monotonicity (opt(k, δ) <=
+// opt(k', δ') for k' <= k, δ' >= δ), so a grid of related queries
+// costs far less than independent Find calls.
 //
-// A Session is safe for concurrent use; FindGrid additionally runs its
-// cells concurrently, each with its own incumbent, on top of the
-// engine's intra-query parallelism. The Session snapshots the graph at
-// creation: later mutations of g are not observed — build a new
-// Session after changing the graph.
+// A Session is dynamic: Apply mutates its graph with a batched Delta
+// and invalidates only the prepared state the delta touches —
+// untouched components keep their reduction snapshots and search
+// machinery, surviving answers keep seeding and bounding, and a
+// requery after a local delta typically costs a small fraction of a
+// fresh NewSession. The Session snapshots the public Graph at
+// creation: later mutations of the *Graph object* are not observed;
+// mutate through Apply instead.
+//
+// A Session is safe for concurrent use, including queries racing an
+// Apply: in-flight queries finish race-free on the graph generation
+// they started on, queries issued after Apply returns see the new
+// graph. FindGrid additionally runs its cells concurrently, each with
+// its own incumbent, on top of the engine's intra-query parallelism.
 type Session struct {
-	ig    *graph.Graph
 	inner *session.Session
 }
 
@@ -448,21 +484,23 @@ func NewSession(g *Graph, opts ...SessionOptions) *Session {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	ig := g.freeze()
 	return &Session{
-		ig: ig,
-		inner: session.New(ig, session.Options{
+		inner: session.New(g.freeze(), session.Options{
 			UseBounds:     !o.DisableBounds,
 			Extra:         o.Bound,
 			UseHeuristic:  !o.DisableHeuristic,
 			SkipReduction: o.DisableReduction,
 			MaxNodes:      o.MaxNodes,
 			Workers:       o.Workers,
+			MaxPreparedK:  o.MaxPreparedK,
+			MaxPoolSeeds:  o.MaxPoolSeeds,
 		}),
 	}
 }
 
-// normalize maps a QuerySpec to the internal (k, δ) cell.
+// normalize maps a QuerySpec to the internal (k, δ) cell. Weak cells
+// resolve their δ (= current vertex count) inside the engine at query
+// time, so they stay correct across Apply.
 func (s *Session) normalize(spec QuerySpec) (session.Query, error) {
 	if spec.K < 1 {
 		return session.Query{}, fmt.Errorf("fairclique: k must be >= 1, got %d", spec.K)
@@ -474,12 +512,93 @@ func (s *Session) normalize(spec QuerySpec) (session.Query, error) {
 		}
 		return session.Query{K: int32(spec.K), Delta: int32(spec.Delta)}, nil
 	case ModeWeak:
-		return session.Query{K: int32(spec.K), Delta: s.ig.N()}, nil
+		return session.Query{K: int32(spec.K), Weak: true}, nil
 	case ModeStrong:
 		return session.Query{K: int32(spec.K), Delta: 0}, nil
 	default:
 		return session.Query{}, fmt.Errorf("fairclique: unknown mode %d", spec.Mode)
 	}
+}
+
+// Delta is a batched mutation of a Session's graph: vertex appends,
+// vertex deletions (the id stays valid but isolated — ids are never
+// recycled, so cliques and results remain comparable across deltas),
+// edge insertions and edge deletions. Inserting a present edge or
+// deleting an absent one is a silent no-op; contradictory operations
+// (the same edge added and deleted, an added edge incident to a
+// deleted vertex) are rejected.
+type Delta struct {
+	// AddVertices appends vertices with the given attributes; they
+	// receive ids N(), N()+1, ... and may appear in AddEdges.
+	AddVertices []Attr
+	// AddEdges inserts undirected edges.
+	AddEdges [][2]int
+	// DelEdges removes undirected edges.
+	DelEdges [][2]int
+	// DelVertices drops all edges incident to these vertices.
+	DelVertices []int
+}
+
+// ApplyStats reports what one Apply invalidated and what it kept.
+type ApplyStats struct {
+	// Epoch is the graph generation the delta created (1, 2, ...).
+	Epoch int64
+	// InsertedEdges, DeletedEdges and NewVertices are the delta's
+	// effective size after deduplication against the previous graph.
+	InsertedEdges, DeletedEdges, NewVertices int
+	// SnapshotsPatched and SnapshotsReused count per-k reduction
+	// snapshots re-reduced on the dirty region vs carried verbatim.
+	SnapshotsPatched, SnapshotsReused int64
+	// CompPrepsReused counts adopted per-component search machinery.
+	CompPrepsReused int64
+	// PoolRetained and PoolDropped count surviving vs destroyed
+	// warm-start cliques.
+	PoolRetained, PoolDropped int64
+}
+
+// Apply mutates the session's graph in place and invalidates only the
+// prepared state the delta touches. Answers returned by Find/FindGrid
+// after Apply are exactly those of a fresh session over the mutated
+// graph; queries already in flight complete against the pre-delta
+// graph. Concurrent Apply calls are serialized. It returns what was
+// invalidated versus retained, for observability.
+func (s *Session) Apply(d Delta) (ApplyStats, error) {
+	gd := &graph.Delta{
+		AddVertices: d.AddVertices,
+		AddEdges:    toEdge32(d.AddEdges),
+		DelEdges:    toEdge32(d.DelEdges),
+		DelVertices: toInt32(d.DelVertices),
+	}
+	ast, err := s.inner.Apply(gd)
+	if err != nil {
+		return ApplyStats{}, fmt.Errorf("fairclique: %w", err)
+	}
+	return ApplyStats{
+		Epoch:            ast.Epoch,
+		InsertedEdges:    ast.InsertedEdges,
+		DeletedEdges:     ast.DeletedEdges,
+		NewVertices:      ast.NewVertices,
+		SnapshotsPatched: ast.SnapshotsPatched,
+		SnapshotsReused:  ast.SnapshotsReused,
+		CompPrepsReused:  ast.CompPrepsReused,
+		PoolRetained:     ast.PoolRetained,
+		PoolDropped:      ast.PoolDropped,
+	}, nil
+}
+
+// N returns the current vertex count of the session's graph (it grows
+// with Delta.AddVertices; deletions never shrink it).
+func (s *Session) N() int { return int(s.inner.Graph().N()) }
+
+// M returns the current edge count of the session's graph.
+func (s *Session) M() int { return int(s.inner.Graph().M()) }
+
+func toEdge32(es [][2]int) [][2]int32 {
+	out := make([][2]int32, len(es))
+	for i, e := range es {
+		out[i] = [2]int32{int32(e[0]), int32(e[1])}
+	}
+	return out
 }
 
 // Find answers one query on the warm session. The result is identical
@@ -495,7 +614,9 @@ func (s *Session) Find(spec QuerySpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return resultFromCore(s.ig, res), nil
+	// Vertex ids are stable across Apply (appends only), so the latest
+	// graph is always valid for attribute accounting.
+	return resultFromCore(s.inner.Graph(), res), nil
 }
 
 // FindGrid answers a grid of cells, returning results aligned with
@@ -518,7 +639,7 @@ func (s *Session) FindGrid(specs []QuerySpec) ([]*Result, error) {
 	}
 	out := make([]*Result, len(rs))
 	for i, r := range rs {
-		out[i] = resultFromCore(s.ig, r)
+		out[i] = resultFromCore(s.inner.Graph(), r)
 	}
 	return out, nil
 }
@@ -538,6 +659,14 @@ func (s *Session) Stats() SessionStats {
 		ReductionReuses:  st.ReductionReuses,
 		WarmStarts:       st.WarmStarts,
 		DominanceSkips:   st.DominanceSkips,
+		Applies:          st.Applies,
+		Epoch:            st.Epoch,
+		SnapshotsPatched: st.SnapshotsPatched,
+		SnapshotsReused:  st.SnapshotsReused,
+		CompPrepsReused:  st.CompPrepsReused,
+		PoolRetained:     st.PoolRetained,
+		PoolDropped:      st.PoolDropped,
+		PrepEvictions:    st.PrepEvictions,
 	}
 }
 

@@ -30,6 +30,10 @@ type Config struct {
 	// MaxNodes caps branch nodes per search (0 = unlimited), a safety
 	// valve for very small scales where reductions keep less structure.
 	MaxNodes int64
+	// GridSpec overrides the grid experiment's cell spec (the
+	// internal/cli range syntax, e.g. "k=2..4,delta=1..3"); empty means
+	// the canonical 9-cell grid.
+	GridSpec string
 }
 
 func (c Config) out() io.Writer {

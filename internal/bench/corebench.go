@@ -49,6 +49,10 @@ type CoreBenchResult struct {
 	// (`benchmark -exp grid`): the same instance's 9-cell (k, δ) grid
 	// answered by one warm session versus independent Find calls.
 	Grid *GridBenchResult `json:"grid,omitempty"`
+	// Delta, when present, is the dynamic-session experiment
+	// (`benchmark -exp delta`): single-edge Apply+requery on a warm
+	// session versus NewSession+requery on the mutated graph.
+	Delta *DeltaBenchResult `json:"delta,omitempty"`
 }
 
 // coreBenchInstance builds the deterministic single-giant-component

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The delta experiment must agree with the cold rebuild, answer the
+// post-delta requery without branching (the retained seed meets the
+// relaxed bound), and reuse the untouched nucleus machinery.
+func TestDeltaBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDeltaBench(Config{Scale: 0.2}, &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	var res DeltaBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		if !run.SizesMatch {
+			t.Fatalf("%s: warm session diverged from cold rebuild", run.Name)
+		}
+		if run.Size < 4 {
+			t.Fatalf("%s: implausible optimum %d for (2,2) on the nucleus", run.Name, run.Size)
+		}
+		if run.RequeryNodes != 0 {
+			t.Fatalf("%s: post-Apply requery branched %d nodes; the retained bound+seed should answer it", run.Name, run.RequeryNodes)
+		}
+		if run.CompPrepsReused < 1 {
+			t.Fatalf("%s: nucleus machinery was rebuilt, not adopted: %+v", run.Name, run)
+		}
+		if run.ApplySeconds <= 0 || run.RebuildSeconds <= 0 {
+			t.Fatalf("%s: unmeasured run: %+v", run.Name, run)
+		}
+	}
+	// The shell delete never touches the snapshot: verbatim reuse.
+	if res.Runs[1].SnapshotsReused != 1 {
+		t.Fatalf("delete scenario patched the snapshot: %+v", res.Runs[1])
+	}
+}
+
+func TestDeltaBenchMerge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_core.json")
+	rec := CoreBenchResult{Graph: CoreBenchGraph{Name: "bigcomp-giant"}}
+	data, _ := json.Marshal(rec)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	if err := WriteDeltaBench(Config{Scale: 0.15}, &sink, path); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := LoadCoreBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Delta == nil || len(merged.Delta.Runs) != 2 {
+		t.Fatalf("delta record not merged: %+v", merged.Delta)
+	}
+}

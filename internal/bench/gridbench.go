@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fairclique/internal/bounds"
+	"fairclique/internal/cli"
 	"fairclique/internal/core"
 	"fairclique/internal/session"
 )
@@ -47,28 +48,44 @@ type GridBenchResult struct {
 	SessionNodes    int64 `json:"session_nodes"`
 }
 
-// gridBenchQueries is the 9-cell grid of the acceptance experiment:
-// k=2..4 × δ=1..3 with the default pipeline (reduction, colorful
-// degeneracy bound, heuristic).
-func gridBenchQueries() []session.Query {
-	var qs []session.Query
-	for k := int32(2); k <= 4; k++ {
-		for d := int32(1); d <= 3; d++ {
-			qs = append(qs, session.Query{K: k, Delta: d})
+// gridBenchQueries expands the experiment's grid spec (Config.GridSpec
+// or the canonical 9 cells k=2..4 × δ=1..3) through the shared CLI
+// parser, so cmd/benchmark rejects malformed ranges exactly like
+// cmd/mfc does.
+func gridBenchQueries(spec string) (string, []session.Query, error) {
+	if spec == "" {
+		spec = "k=2..4,delta=1..3"
+	}
+	cells, err := cli.ParseGrid(spec)
+	if err != nil {
+		return spec, nil, err
+	}
+	qs := make([]session.Query, len(cells))
+	for i, c := range cells {
+		switch c.Mode {
+		case cli.ModeWeak:
+			qs[i] = session.Query{K: int32(c.K), Weak: true}
+		case cli.ModeStrong:
+			qs[i] = session.Query{K: int32(c.K)}
+		default:
+			qs[i] = session.Query{K: int32(c.K), Delta: int32(c.Delta)}
 		}
 	}
-	return qs
+	return spec, qs, nil
 }
 
-// GridBench measures the 9-cell grid on the bigcomp-giant instance:
+// GridBench measures the grid on the bigcomp-giant instance:
 // independent per-cell MaxRFC calls versus one session FindGrid,
 // asserting cell-for-cell equality.
-func GridBench(cfg Config) GridBenchResult {
+func GridBench(cfg Config) (GridBenchResult, error) {
 	g, desc := coreBenchInstance(cfg.scale())
-	qs := gridBenchQueries()
+	spec, qs, err := gridBenchQueries(cfg.GridSpec)
+	if err != nil {
+		return GridBenchResult{}, err
+	}
 	res := GridBenchResult{
 		Graph:    desc,
-		GridSpec: "k=2..4,delta=1..3",
+		GridSpec: spec,
 		AllMatch: true,
 	}
 	sopt := session.Options{
@@ -82,17 +99,21 @@ func GridBench(cfg Config) GridBenchResult {
 	// per cell.
 	indSizes := make([]int, len(qs))
 	for i, q := range qs {
-		cell := GridBenchCell{K: int(q.K), Delta: int(q.Delta)}
+		delta := int(q.Delta)
+		if q.Weak {
+			delta = int(g.N())
+		}
+		cell := GridBenchCell{K: int(q.K), Delta: delta}
 		for rep := 0; rep < 3; rep++ {
 			start := time.Now()
 			r, err := core.MaxRFC(g, core.Options{
-				K: int(q.K), Delta: int(q.Delta),
+				K: int(q.K), Delta: delta,
 				UseBounds: true, Extra: bounds.ColorfulDegeneracy,
 				UseHeuristic: true, MaxNodes: cfg.MaxNodes,
 			})
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
-				panic(err)
+				return res, err
 			}
 			if rep == 0 || elapsed < cell.IndSecs {
 				cell.IndSecs = elapsed
@@ -112,7 +133,7 @@ func GridBench(cfg Config) GridBenchResult {
 		rs, err := s.FindGrid(qs)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			panic(err)
+			return res, err
 		}
 		for i := range qs {
 			if rs[i].Size() != indSizes[i] {
@@ -132,7 +153,7 @@ func GridBench(cfg Config) GridBenchResult {
 	if res.SessionSeconds > 0 {
 		res.Speedup = res.IndependentSeconds / res.SessionSeconds
 	}
-	return res
+	return res, nil
 }
 
 // WriteGridBench runs GridBench, writes its JSON record to w and, when
@@ -140,7 +161,10 @@ func GridBench(cfg Config) GridBenchResult {
 // grid result into it under "grid" so the repo keeps one perf
 // trajectory file.
 func WriteGridBench(cfg Config, w io.Writer, mergePath string) error {
-	res := GridBench(cfg)
+	res, err := GridBench(cfg)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(res); err != nil {
@@ -157,16 +181,20 @@ func WriteGridBench(cfg Config, w io.Writer, mergePath string) error {
 		return fmt.Errorf("load %s: %w", mergePath, err)
 	}
 	rec.Grid = &res
-	// Encode fully before touching the committed record, and swap it in
-	// with a rename so a failure mid-write cannot destroy the perf
-	// trajectory file.
+	return writeCoreRecord(mergePath, rec)
+}
+
+// writeCoreRecord atomically replaces the committed perf-trajectory
+// file: encode fully before touching it, then swap with a rename so a
+// failure mid-write cannot destroy the record.
+func writeCoreRecord(path string, rec CoreBenchResult) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := mergePath + ".tmp"
+	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, mergePath)
+	return os.Rename(tmp, path)
 }

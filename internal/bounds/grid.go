@@ -66,3 +66,30 @@ func (t *GridTable) UpperBound(k, delta int32) (ub int32, ok bool) {
 
 // Cells returns the retained solved cells (for stats and tests).
 func (t *GridTable) Cells() []GridCell { return t.cells }
+
+// Relax returns a new table whose every cell size is raised to at
+// least floor, leaving the receiver untouched. This is how solved
+// cells survive a graph mutation as upper bounds: after a delta whose
+// insertions are the edges E⁺, every clique of the new graph either
+// avoids E⁺ — then it is a clique of the old graph, bounded by the old
+// cell size — or contains some (u, v) ∈ E⁺ and is therefore a subset
+// of {u, v} ∪ (N(u) ∩ N(v)), bounded by floor = max over E⁺ of
+// 2 + |N(u) ∩ N(v)| (neighborhoods in the NEW graph). Hence
+//
+//	opt_new(k, δ) <= max(opt_old(k, δ), floor)
+//
+// for every cell. Deletions only shrink cliques, so a deletion-only
+// delta relaxes with floor 0 (cells keep their sizes — no longer
+// necessarily tight, but still safe upper bounds, which is all the
+// table ever promises).
+func (t *GridTable) Relax(floor int32) GridTable {
+	var out GridTable
+	for _, c := range t.cells {
+		size := c.Size
+		if size < floor {
+			size = floor
+		}
+		out.Add(c.K, c.Delta, size)
+	}
+	return out
+}

@@ -126,3 +126,37 @@ func TestGridTableSafeOnRandomGraphs(t *testing.T) {
 		}
 	}
 }
+
+// Relax must raise every retained bound to at least the floor, keep
+// higher bounds intact, and leave the source table untouched.
+func TestGridTableRelax(t *testing.T) {
+	var tab GridTable
+	tab.Add(2, 3, 8) // weak cell, big optimum
+	tab.Add(3, 0, 0) // strict cell, proved empty
+	tab.Add(2, 1, 4)
+
+	relaxed := tab.Relax(5)
+	for _, c := range relaxed.Cells() {
+		if c.Size < 5 {
+			t.Fatalf("relaxed cell (k=%d, δ=%d) has size %d < floor 5", c.K, c.Delta, c.Size)
+		}
+	}
+	if ub, ok := relaxed.UpperBound(2, 3); !ok || ub != 8 {
+		t.Fatalf("bound above the floor changed: %d/%v, want 8", ub, ok)
+	}
+	if ub, ok := relaxed.UpperBound(3, 0); !ok || ub != 5 {
+		t.Fatalf("proved-empty cell not raised to the floor: %d/%v, want 5", ub, ok)
+	}
+	// Floor 0 (deletion-only delta) preserves all sizes.
+	same := tab.Relax(0)
+	for _, c := range tab.Cells() {
+		ub, ok := same.UpperBound(c.K, c.Delta)
+		if !ok || ub > c.Size {
+			t.Fatalf("floor-0 relax weakened (k=%d, δ=%d): %d/%v, want <= %d", c.K, c.Delta, ub, ok, c.Size)
+		}
+	}
+	// The source table is untouched.
+	if ub, ok := tab.UpperBound(3, 0); !ok || ub != 0 {
+		t.Fatalf("source table mutated by Relax: %d/%v", ub, ok)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"fairclique/internal/graph"
+)
+
+// twoCliqueComponents builds two disjoint cliques: a balanced K4 on
+// vertices 0-3 (component A, the (2,0) optimum) and an attribute-skewed
+// K6 on vertices 4-9 (component B: five a's, one b — large enough that
+// the size prune cannot skip it, yet (2,0)-infeasible, so both
+// components are genuinely searched and built).
+func twoCliqueComponents() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for v := int32(0); v < 4; v++ {
+		b.SetAttr(v, graph.Attr(v%2))
+	}
+	for v := int32(4); v < 10; v++ {
+		b.SetAttr(v, graph.AttrA)
+	}
+	b.SetAttr(9, graph.AttrB)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	for u := int32(4); u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// PrepareIncremental must adopt the built machinery of components the
+// delta does not touch, rebuild touched ones, and keep answers exact.
+func TestPrepareIncrementalAdoptsCleanComponents(t *testing.T) {
+	g := twoCliqueComponents()
+	prev := PrepareReduced(g, identity(g.N()))
+	if _, err := prev.Search(Options{K: 2, Delta: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if built := prev.PreparedComponents(); built != 2 {
+		t.Fatalf("baseline built %d comps, want 2", built)
+	}
+
+	// Delete an edge inside component B: component A is untouched.
+	next, info, err := graph.ApplyDelta(g, &graph.Delta{DelEdges: [][2]int32{{4, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, adopted := PrepareIncremental(next, identity(next.N()), prev, info.Touches)
+	if adopted != 1 {
+		t.Fatalf("adopted %d comps, want 1 (component A)", adopted)
+	}
+	res, err := p.Search(Options{K: 2, Delta: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 4 {
+		t.Fatalf("post-delta optimum %d, want 4 (component A's K4)", res.Size())
+	}
+	// The adopted component must literally share the previous machinery.
+	shared := false
+	for i := range p.preps {
+		if cp := p.preps[i].Load(); cp != nil {
+			for j := range prev.preps {
+				if prev.preps[j].Load() == cp {
+					shared = true
+				}
+			}
+		}
+	}
+	if !shared {
+		t.Fatal("no compPrep pointer shared with the previous Prepared")
+	}
+
+	// A delta bridging A and B merges the components: nothing is clean,
+	// nothing may be adopted.
+	merged, info2, err := graph.ApplyDelta(g, &graph.Delta{AddEdges: [][2]int32{{0, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, adopted2 := PrepareIncremental(merged, identity(merged.N()), prev, info2.Touches)
+	if adopted2 != 0 {
+		t.Fatalf("bridged delta adopted %d comps, want 0", adopted2)
+	}
+	res2, err := p2.Search(Options{K: 2, Delta: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Size() != 4 {
+		t.Fatalf("merged optimum %d, want 4", res2.Size())
+	}
+}
+
+// An unbuilt previous component (never searched) has nothing to adopt;
+// PrepareIncremental must fall back to a lazy fresh build.
+func TestPrepareIncrementalUnbuiltPrevious(t *testing.T) {
+	g := twoCliqueComponents()
+	prev := PrepareReduced(g, identity(g.N())) // never searched: no preps built
+	next, info, err := graph.ApplyDelta(g, &graph.Delta{DelEdges: [][2]int32{{4, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, adopted := PrepareIncremental(next, identity(next.N()), prev, info.Touches)
+	if adopted != 0 {
+		t.Fatalf("adopted %d comps from an unbuilt Prepared", adopted)
+	}
+	res, err := p.Search(Options{K: 2, Delta: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 4 {
+		t.Fatalf("optimum %d, want 4", res.Size())
+	}
+}

@@ -189,7 +189,10 @@ type Prepared struct {
 	toOrig []int32
 	comps  [][]int32
 	once   []sync.Once
-	preps  []*compPrep
+	// preps are atomic so an incremental re-prepare (PrepareIncremental,
+	// during a session Apply) can observe which components finished
+	// building without racing a build that is still in flight.
+	preps []atomic.Pointer[compPrep]
 }
 
 // PrepareReduced freezes an already-reduced graph for searching. toOrig
@@ -206,8 +209,72 @@ func PrepareReduced(work *graph.Graph, toOrig []int32) *Prepared {
 	p.comps = graph.ConnectedComponents(work)
 	sort.SliceStable(p.comps, func(i, j int) bool { return len(p.comps[i]) > len(p.comps[j]) })
 	p.once = make([]sync.Once, len(p.comps))
-	p.preps = make([]*compPrep, len(p.comps))
+	p.preps = make([]atomic.Pointer[compPrep], len(p.comps))
 	return p
+}
+
+// PrepareIncremental freezes a re-reduced graph for searching while
+// adopting the already-built per-component machinery of a previous
+// Prepared wherever it is still valid. A component of the new graph may
+// adopt a previous component's compPrep when (a) none of its vertices
+// is a delta endpoint (touched reports endpoints in ORIGINAL ids) and
+// (b) its original-id vertex set is identical to the previous
+// component's — together these guarantee the induced structure, and
+// therefore the peel-rank relabeling and successor masks, are
+// unchanged. Everything else is rebuilt lazily as usual. The adopted
+// count is returned for the session layer's invalidation accounting.
+//
+// Adoption is safe while searches are still running on prev: compPreps
+// are immutable apart from their internally locked worker freelist, so
+// old-epoch and new-epoch searches may share one.
+func PrepareIncremental(work *graph.Graph, toOrig []int32, prev *Prepared, touched func(orig int32) bool) (*Prepared, int) {
+	p := PrepareReduced(work, toOrig)
+	if prev == nil {
+		return p, 0
+	}
+	// Components are keyed by their smallest original id: comps list
+	// vertices in ascending work id, and both Prepared's toOrig maps are
+	// monotone (reduction survivors are induced in ascending original
+	// order), so element-wise comparison settles set equality.
+	prevByMin := make(map[int32]int, len(prev.comps))
+	for i, c := range prev.comps {
+		prevByMin[prev.toOrig[c[0]]] = i
+	}
+	adopted := 0
+	for i, c := range p.comps {
+		clean := true
+		for _, v := range c {
+			if touched(toOrig[v]) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		j, ok := prevByMin[toOrig[c[0]]]
+		if !ok || len(prev.comps[j]) != len(c) {
+			continue
+		}
+		pc := prev.comps[j]
+		same := true
+		for x := range c {
+			if prev.toOrig[pc[x]] != toOrig[c[x]] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		cp := prev.preps[j].Load()
+		if cp == nil {
+			continue // never built (or build in flight): nothing to adopt
+		}
+		p.once[i].Do(func() { p.preps[i].Store(cp) })
+		adopted++
+	}
+	return p, adopted
 }
 
 // Work returns the reduced graph searches run against.
@@ -219,8 +286,20 @@ func (p *Prepared) Components() int { return len(p.comps) }
 // comp returns component i's prepared machinery, building it on first
 // use. sync.Once makes the lazy build safe under concurrent searches.
 func (p *Prepared) comp(i int) *compPrep {
-	p.once[i].Do(func() { p.preps[i] = prepareComp(p.work, p.comps[i]) })
-	return p.preps[i]
+	p.once[i].Do(func() { p.preps[i].Store(prepareComp(p.work, p.comps[i], p.toOrig)) })
+	return p.preps[i].Load()
+}
+
+// PreparedComponents reports how many components currently have their
+// machinery built (for invalidation stats and tests).
+func (p *Prepared) PreparedComponents() int {
+	n := 0
+	for i := range p.preps {
+		if p.preps[i].Load() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Search runs one MaxRFC query over the prepared graph. seed, when
@@ -267,7 +346,7 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		if h.Clique != nil {
 			res.Stats.HeuristicSize = len(h.Clique)
 			if int32(len(h.Clique)) > s.bestSize.Load() {
-				s.best = append([]int32(nil), h.Clique...)
+				s.best = mapVerts(h.Clique, p.toOrig)
 				s.bestSize.Store(int32(len(h.Clique)))
 			}
 		}
@@ -325,10 +404,7 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 	res.Stats.Donations = s.donations.Load()
 	res.Stats.Aborted = s.aborted.Load()
 	if s.best != nil {
-		res.Clique = make([]int32, len(s.best))
-		for i, v := range s.best {
-			res.Clique[i] = p.toOrig[v]
-		}
+		res.Clique = append([]int32(nil), s.best...)
 	} else {
 		res.Clique = cloneSeed(s.seed)
 	}
@@ -354,7 +430,7 @@ type searcher struct {
 	stopAt   int32   // trusted optimum upper bound; 0 = none
 
 	mu       sync.Mutex
-	best     []int32      // in reduced-graph ids
+	best     []int32      // in ORIGINAL graph ids
 	bestSize atomic.Int32 // fast reads on the hot path
 
 	nodes       atomic.Int64
@@ -369,15 +445,15 @@ type searcher struct {
 // (inexact abort or exact early finish).
 func (s *searcher) halted() bool { return s.aborted.Load() || s.done.Load() }
 
-// record publishes a fair clique (in reduced-graph ids) if it improves
-// the incumbent. The comparison runs against bestSize, not len(best),
-// because a warm-start seed raises the former without materializing the
-// latter.
-func (s *searcher) record(r []int32, toWork []int32) {
+// record publishes a fair clique (in component ids, mapped to original
+// ids through toOrig) if it improves the incumbent. The comparison runs
+// against bestSize, not len(best), because a warm-start seed raises the
+// former without materializing the latter.
+func (s *searcher) record(r []int32, toOrig []int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sz := int32(len(r)); sz > s.bestSize.Load() {
-		s.best = mapVerts(r, toWork)
+		s.best = mapVerts(r, toOrig)
 		s.bestSize.Store(sz)
 		if s.stopAt > 0 && sz >= s.stopAt {
 			s.done.Store(true)
@@ -402,10 +478,14 @@ const smallComponentLimit = 1024
 // successor masks, the attribute masks/histogram and the recycled
 // worker arenas. It is built once per component (per Prepared) and
 // shared — read-only apart from the locked freelist — by every search
-// and every worker that ever branches inside the component.
+// and every worker that ever branches inside the component. Because it
+// references vertices only in its own component ids and in ORIGINAL
+// graph ids (toOrig), a compPrep is also valid across re-reduced
+// Prepared instances whose component is structurally unchanged — the
+// basis of PrepareIncremental's adoption.
 type compPrep struct {
 	comp   *graph.Graph // induced component, relabeled so id == peel rank
-	toWork []int32      // component id -> reduced-graph id
+	toOrig []int32      // component id -> ORIGINAL graph id
 	n      int32
 	cnt    [2]int32 // attribute histogram of the whole component
 
@@ -468,13 +548,15 @@ type compData struct {
 // prepared component (test entry point; Search goes through
 // Prepared.comp for the cached build).
 func (s *searcher) newCompData(comp []int32) *compData {
-	return &compData{compPrep: prepareComp(s.p.work, comp), s: s}
+	return &compData{compPrep: prepareComp(s.p.work, comp, s.p.toOrig), s: s}
 }
 
 // prepareComp induces comp from the reduced graph and relabels it by
 // CalColorOD peel rank (Algorithm 2 line 9), then precomputes the
-// chunked bitset machinery (or the slice oracle's vertex list).
-func prepareComp(g *graph.Graph, comp []int32) *compPrep {
+// chunked bitset machinery (or the slice oracle's vertex list). toOrig
+// maps the reduced graph's ids to original ids; the compPrep composes
+// the two so it is self-contained.
+func prepareComp(g *graph.Graph, comp []int32, toOrig []int32) *compPrep {
 	sub := graph.Induce(g, comp)
 	col := color.Greedy(sub.G)
 	rank := colorful.PeelRank(sub.G, col)
@@ -487,9 +569,9 @@ func prepareComp(g *graph.Graph, comp []int32) *compPrep {
 	for v := int32(0); v < n; v++ {
 		order[rank[v]] = v
 	}
-	d := &compPrep{comp: graph.Permute(sub.G, order), toWork: make([]int32, n), n: n}
+	d := &compPrep{comp: graph.Permute(sub.G, order), toOrig: make([]int32, n), n: n}
 	for i, v := range order {
-		d.toWork[i] = sub.ToParent[v]
+		d.toOrig[i] = toOrig[sub.ToParent[v]]
 	}
 	for v := int32(0); v < n; v++ {
 		d.cnt[d.comp.Attr(v)]++
@@ -913,7 +995,7 @@ func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits *graph.LiveRo
 	w.countNode()
 	if cnt[0] >= s.k && cnt[1] >= s.k && abs32(cnt[0]-cnt[1]) <= s.delta {
 		if int32(depth) > s.bestSize.Load() {
-			s.record(w.rbuf[:depth], w.d.toWork)
+			s.record(w.rbuf[:depth], w.d.toOrig)
 		}
 	}
 	total := int32(depth) + avail[0] + avail[1]

@@ -49,7 +49,6 @@ func (b *Builder) AddEdge(u, v int32) {
 // Build produces the immutable Graph. The builder can be reused after
 // Build (its state is unchanged).
 func (b *Builder) Build() *Graph {
-	n := int(b.N())
 	// Canonicalize and dedup the edge list.
 	edges := append([][2]int32(nil), b.edges...)
 	sort.Slice(edges, func(i, j int) bool {
@@ -65,8 +64,15 @@ func (b *Builder) Build() *Graph {
 		}
 		dedup = append(dedup, e)
 	}
-	edges = dedup
+	return fromSortedEdges(append([]Attr(nil), b.attrs...), dedup)
+}
 
+// fromSortedEdges assembles the CSR for an already canonical (u < v),
+// sorted, deduplicated edge list. It takes ownership of both slices.
+// This is the linear tail of Builder.Build, shared with ApplyDelta so
+// graph mutation skips the global edge re-sort.
+func fromSortedEdges(attrs []Attr, edges [][2]int32) *Graph {
+	n := len(attrs)
 	deg := make([]int32, n)
 	for _, e := range edges {
 		deg[e[0]]++
@@ -97,14 +103,13 @@ func (b *Builder) Build() *Graph {
 		lo, hi := offsets[v], offsets[v+1]
 		sortAdjacency(nbrs[lo:hi], eids[lo:hi])
 	}
-	g := &Graph{
+	return &Graph{
 		offsets: offsets,
 		nbrs:    nbrs,
 		eids:    eids,
-		attrs:   append([]Attr(nil), b.attrs...),
+		attrs:   attrs,
 		edges:   edges,
 	}
-	return g
 }
 
 // sortAdjacency sorts a neighbour slice and its parallel edge-id slice

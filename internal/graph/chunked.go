@@ -28,7 +28,11 @@ import "math/bits"
 //   - dense:  window × 8 bytes, where window is the word range from the
 //     first to the last set word of the chunk (≤ 64 words; 512 bytes
 //     for a full chunk). A raw bitmap trimmed to its live window; the
-//     AND kernel is a branch-free word loop over the window plus a
+//     AND kernel is a branch-free word loop — unrolled four words per
+//     iteration, with the per-attribute popcounts summed into
+//     block-level accumulators before touching the running counters,
+//     so the OnesCount64 pairs stay off the loop-carried dependency
+//     chain — over the window plus a
 //     memclr of the rest of the chunk span — important when a
 //     component's dense nucleus occupies a narrow id range inside a
 //     chunk, which is the common case after peel-rank relabeling
@@ -332,12 +336,38 @@ func (m *ChunkedMatrix) AndInto(dst, src LiveRow, v int32, restrict, maskA []uin
 				dst.Words[j] = 0
 			}
 			cw := m.words64[ref.off : ref.off+ref.n]
-			sw := src.Words[w0 : w0+ref.n]
-			dw := dst.Words[w0 : w0+ref.n]
-			mw := maskA[w0 : w0+ref.n]
+			sw := src.Words[w0 : w0+ref.n : w0+ref.n]
+			dw := dst.Words[w0 : w0+ref.n : w0+ref.n]
+			mw := maskA[w0 : w0+ref.n : w0+ref.n]
 			if restrict != nil {
-				rw := restrict[w0 : w0+ref.n]
-				for j := range cw {
+				rw := restrict[w0 : w0+ref.n : w0+ref.n]
+				var an, tn uint64
+				// Dense AND kernel, 4 words per iteration: the four
+				// lanes carry independent data chains, and the popcounts
+				// accumulate into per-block sums (an = A-attribute bits,
+				// tn = total bits) that are folded into a/b once per
+				// block — the two-level accumulator that keeps the
+				// per-word OnesCount64 pair off the loop-carried path.
+				j := 0
+				for ; j+4 <= len(cw); j += 4 {
+					x0 := sw[j] & cw[j] & rw[j]
+					x1 := sw[j+1] & cw[j+1] & rw[j+1]
+					x2 := sw[j+2] & cw[j+2] & rw[j+2]
+					x3 := sw[j+3] & cw[j+3] & rw[j+3]
+					dw[j], dw[j+1], dw[j+2], dw[j+3] = x0, x1, x2, x3
+					nz |= x0 | x1 | x2 | x3
+					an = uint64(bits.OnesCount64(x0&mw[j])) +
+						uint64(bits.OnesCount64(x1&mw[j+1])) +
+						uint64(bits.OnesCount64(x2&mw[j+2])) +
+						uint64(bits.OnesCount64(x3&mw[j+3]))
+					tn = uint64(bits.OnesCount64(x0)) +
+						uint64(bits.OnesCount64(x1)) +
+						uint64(bits.OnesCount64(x2)) +
+						uint64(bits.OnesCount64(x3))
+					a += int32(an)
+					b += int32(tn - an)
+				}
+				for ; j < len(cw); j++ {
 					x := sw[j] & cw[j] & rw[j]
 					dw[j] = x
 					nz |= x
@@ -346,7 +376,27 @@ func (m *ChunkedMatrix) AndInto(dst, src LiveRow, v int32, restrict, maskA []uin
 					b += int32(bits.OnesCount64(x)) - pa
 				}
 			} else {
-				for j := range cw {
+				var an, tn uint64
+				j := 0
+				for ; j+4 <= len(cw); j += 4 {
+					x0 := sw[j] & cw[j]
+					x1 := sw[j+1] & cw[j+1]
+					x2 := sw[j+2] & cw[j+2]
+					x3 := sw[j+3] & cw[j+3]
+					dw[j], dw[j+1], dw[j+2], dw[j+3] = x0, x1, x2, x3
+					nz |= x0 | x1 | x2 | x3
+					an = uint64(bits.OnesCount64(x0&mw[j])) +
+						uint64(bits.OnesCount64(x1&mw[j+1])) +
+						uint64(bits.OnesCount64(x2&mw[j+2])) +
+						uint64(bits.OnesCount64(x3&mw[j+3]))
+					tn = uint64(bits.OnesCount64(x0)) +
+						uint64(bits.OnesCount64(x1)) +
+						uint64(bits.OnesCount64(x2)) +
+						uint64(bits.OnesCount64(x3))
+					a += int32(an)
+					b += int32(tn - an)
+				}
+				for ; j < len(cw); j++ {
 					x := sw[j] & cw[j]
 					dw[j] = x
 					nz |= x

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"testing"
+
+	"fairclique/internal/rng"
+)
+
+// rebuildReference applies a delta the slow, obviously correct way:
+// through a fresh Builder.
+func rebuildReference(t *testing.T, g *Graph, d *Delta) *Graph {
+	t.Helper()
+	b := NewBuilder(int(g.N()) + len(d.AddVertices))
+	for v := int32(0); v < g.N(); v++ {
+		b.SetAttr(v, g.Attr(v))
+	}
+	for i, a := range d.AddVertices {
+		b.SetAttr(g.N()+int32(i), a)
+	}
+	delV := make(map[int32]bool)
+	for _, v := range d.DelVertices {
+		delV[v] = true
+	}
+	delE := make(map[[2]int32]bool)
+	for _, e := range d.DelEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		delE[[2]int32{u, v}] = true
+	}
+	for e := int32(0); e < g.M(); e++ {
+		u, v := g.Edge(e)
+		if delV[u] || delV[v] || delE[[2]int32{u, v}] {
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+	for _, e := range d.AddEdges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// graphsEqual compares two graphs structurally.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); v < a.N(); v++ {
+		if a.Attr(v) != b.Attr(v) {
+			return false
+		}
+		an, bn := a.Neighbors(v), b.Neighbors(v)
+		if len(an) != len(bn) {
+			return false
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + r.Intn(20)
+		b := NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetAttr(int32(v), Attr(r.Intn(2)))
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bool(0.3) {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+		g := b.Build()
+
+		d := &Delta{}
+		for i := 0; i < r.Intn(3); i++ {
+			d.AddVertices = append(d.AddVertices, Attr(r.Intn(2)))
+		}
+		newN := int32(n + len(d.AddVertices))
+		var delV []int32
+		for i := 0; i < r.Intn(3); i++ {
+			delV = append(delV, int32(r.Intn(n)))
+		}
+		d.DelVertices = delV
+		isDel := func(v int32) bool {
+			for _, w := range delV {
+				if w == v {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < r.Intn(6); i++ {
+			u, v := int32(r.Intn(int(newN))), int32(r.Intn(int(newN)))
+			if u == v || isDel(u) || isDel(v) {
+				continue
+			}
+			d.AddEdges = append(d.AddEdges, [2]int32{u, v})
+		}
+		addsEdge := func(u, v int32) bool {
+			for _, e := range d.AddEdges {
+				if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < r.Intn(6) && g.M() > 0; i++ {
+			u, v := g.Edge(int32(r.Intn(int(g.M()))))
+			if addsEdge(u, v) {
+				continue
+			}
+			d.DelEdges = append(d.DelEdges, [2]int32{v, u}) // reversed order on purpose
+		}
+
+		got, info, err := ApplyDelta(g, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := rebuildReference(t, g, d)
+		if !graphsEqual(got, want) {
+			t.Fatalf("trial %d: ApplyDelta disagrees with rebuild (delta %+v)", trial, d)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: result graph invalid: %v", trial, err)
+		}
+		// The old graph must be untouched.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: source graph mutated: %v", trial, err)
+		}
+		// Info invariants: inserted edges exist now and not before;
+		// deleted edges existed before and not now; endpoints cover both.
+		for _, e := range info.Inserted {
+			if e[0] < g.N() && e[1] < g.N() && g.HasEdge(e[0], e[1]) {
+				t.Fatalf("trial %d: inserted edge %v already existed", trial, e)
+			}
+			if !got.HasEdge(e[0], e[1]) {
+				t.Fatalf("trial %d: inserted edge %v missing from result", trial, e)
+			}
+			if !info.Touches(e[0]) || !info.Touches(e[1]) {
+				t.Fatalf("trial %d: endpoints miss inserted edge %v", trial, e)
+			}
+		}
+		for _, e := range info.Deleted {
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatalf("trial %d: deleted edge %v did not exist", trial, e)
+			}
+			if got.HasEdge(e[0], e[1]) {
+				t.Fatalf("trial %d: deleted edge %v still present", trial, e)
+			}
+			if !info.Touches(e[0]) || !info.Touches(e[1]) {
+				t.Fatalf("trial %d: endpoints miss deleted edge %v", trial, e)
+			}
+		}
+		for _, v := range delV {
+			if got.Deg(v) != 0 {
+				t.Fatalf("trial %d: deleted vertex %d still has degree %d", trial, v, got.Deg(v))
+			}
+			if !info.Touches(v) {
+				t.Fatalf("trial %d: endpoints miss deleted vertex %d", trial, v)
+			}
+		}
+		if info.NewVertexFirst != g.N() || int(info.NewVertexCount) != len(d.AddVertices) {
+			t.Fatalf("trial %d: new-vertex range %d+%d", trial, info.NewVertexFirst, info.NewVertexCount)
+		}
+	}
+}
+
+// Deleting more absent edges than the graph has edges must stay a
+// silent no-op, not a negative-capacity panic (regression test).
+func TestApplyDeltaManyAbsentDeletes(t *testing.T) {
+	g := FromEdges([]Attr{AttrA, AttrB, AttrA}, nil) // edgeless
+	got, info, err := ApplyDelta(g, &Delta{DelEdges: [][2]int32{{0, 1}, {1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != 0 || len(info.Deleted) != 0 || len(info.Endpoints) != 0 {
+		t.Fatalf("absent deletes changed something: %+v", info)
+	}
+}
+
+func TestApplyDeltaNoOps(t *testing.T) {
+	g := FromEdges([]Attr{AttrA, AttrB, AttrA}, [][2]int32{{0, 1}, {1, 2}})
+	// Re-adding a present edge and deleting a missing one are both
+	// silent no-ops that leave the info empty.
+	got, info, err := ApplyDelta(g, &Delta{
+		AddEdges: [][2]int32{{1, 0}},
+		DelEdges: [][2]int32{{0, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(got, g) {
+		t.Fatal("no-op delta changed the graph")
+	}
+	if len(info.Inserted) != 0 || len(info.Deleted) != 0 || len(info.Endpoints) != 0 {
+		t.Fatalf("no-op delta reported changes: %+v", info)
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	g := FromEdges([]Attr{AttrA, AttrB, AttrA}, [][2]int32{{0, 1}, {1, 2}})
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"self-loop add", Delta{AddEdges: [][2]int32{{1, 1}}}},
+		{"self-loop del", Delta{DelEdges: [][2]int32{{2, 2}}}},
+		{"add out of range", Delta{AddEdges: [][2]int32{{0, 9}}}},
+		{"del out of range", Delta{DelEdges: [][2]int32{{-1, 1}}}},
+		{"del vertex out of range", Delta{DelVertices: []int32{3}}},
+		{"del vertex added same delta", Delta{AddVertices: []Attr{AttrA}, DelVertices: []int32{3}}},
+		{"add and del same edge", Delta{AddEdges: [][2]int32{{0, 2}}, DelEdges: [][2]int32{{2, 0}}}},
+		{"add edge at deleted vertex", Delta{AddEdges: [][2]int32{{0, 2}}, DelVertices: []int32{2}}},
+		{"del edge at new vertex", Delta{AddVertices: []Attr{AttrB}, DelEdges: [][2]int32{{0, 3}}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := ApplyDelta(g, &tc.d); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestApplyDeltaNewVertices(t *testing.T) {
+	g := FromEdges([]Attr{AttrA, AttrB}, [][2]int32{{0, 1}})
+	got, info, err := ApplyDelta(g, &Delta{
+		AddVertices: []Attr{AttrB, AttrA},
+		AddEdges:    [][2]int32{{0, 2}, {2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || got.M() != 3 {
+		t.Fatalf("got %d vertices, %d edges", got.N(), got.M())
+	}
+	if got.Attr(2) != AttrB || got.Attr(3) != AttrA {
+		t.Fatal("new vertex attributes wrong")
+	}
+	if !got.HasEdge(0, 2) || !got.HasEdge(2, 3) {
+		t.Fatal("new-vertex edges missing")
+	}
+	if !info.Touches(2) || !info.Touches(3) {
+		t.Fatal("new vertices missing from endpoints")
+	}
+}

@@ -97,3 +97,23 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// Cached returns the snapshot for k if one is already built, without
+// running the pipeline or touching the hit counters (the session's
+// Apply path uses it to re-prepare exactly the k values that exist).
+func (c *Cache) Cached(k int32) (*Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.snaps[k]
+	return s, ok
+}
+
+// Evict drops the cached snapshot for k, if any. Safe at any time: a
+// later Get rebuilds the snapshot (chained off the largest remaining
+// smaller k), and snapshots already handed out stay valid. This is how
+// the session bounds the per-k state of long-lived dynamic sessions.
+func (c *Cache) Evict(k int32) {
+	c.mu.Lock()
+	delete(c.snaps, k)
+	c.mu.Unlock()
+}

@@ -1,0 +1,182 @@
+package reduce
+
+import (
+	"sort"
+
+	"fairclique/internal/graph"
+)
+
+// This file implements the dynamic half of the cache: when the session
+// graph mutates, the per-k reduction snapshots are patched with
+// component-scoped work instead of being flushed. The invariant every
+// snapshot must keep is only *validity* — it contains every fair clique
+// with both attribute counts >= k of the cache's graph — not minimality,
+// which is what makes a cheap local patch sound:
+//
+//   - The reduction pipeline is component-local: peeling decisions in
+//     one connected component of the snapshot never read state from
+//     another. A snapshot component none of whose vertices is a delta
+//     endpoint is therefore still exactly what a fresh pipeline would
+//     keep of it, and is retained verbatim.
+//   - A fair clique of the new graph either uses no inserted edge —
+//     then it was a fair clique of the old graph and lives inside one
+//     old snapshot component — or it uses an inserted edge (u, v) and
+//     is contained in {u, v} ∪ (N(u) ∩ N(v)) of the new graph.
+//
+// So the only region that needs fresh pipeline work is the union of the
+// dirty components' survivors and the inserted edges' common
+// neighborhoods; the patch runs the pipeline on that induced subgraph
+// alone and splices the result next to the untouched components. On a
+// graph whose expensive nucleus is far from the delta this is orders of
+// magnitude cheaper than the full O(α·|E|) pipeline.
+
+// PatchStats reports what a PatchedClone did, for the session layer's
+// invalidation accounting.
+type PatchStats struct {
+	// SnapshotsReused counts cached k values whose snapshot survived the
+	// delta verbatim (no endpoint touched them, no insertions demanded a
+	// local re-run).
+	SnapshotsReused int64
+	// SnapshotsPatched counts cached k values re-piped on their dirty
+	// region only.
+	SnapshotsPatched int64
+}
+
+// PatchedClone derives the reduction cache of the post-delta graph newG
+// from this cache's snapshots. The receiver is not mutated and remains
+// valid for the old graph (in-flight queries keep using it); the
+// returned cache is independently locked and owns patched snapshots.
+// info must describe the delta that produced newG from c's graph.
+func (c *Cache) PatchedClone(newG *graph.Graph, info *graph.ApplyInfo) (*Cache, PatchStats) {
+	c.mu.Lock()
+	snaps := make(map[int32]*Snapshot, len(c.snaps))
+	for k, s := range c.snaps {
+		snaps[k] = s
+	}
+	c.mu.Unlock()
+
+	// The inserted-edge neighborhoods are k-independent; compute once.
+	var insRegion []int32
+	if len(info.Inserted) > 0 {
+		seen := make(map[int32]bool)
+		for _, e := range info.Inserted {
+			seen[e[0]], seen[e[1]] = true, true
+			newG.CommonNeighbors(e[0], e[1], func(w int32) { seen[w] = true })
+		}
+		insRegion = make([]int32, 0, len(seen))
+		for v := range seen {
+			insRegion = append(insRegion, v)
+		}
+	}
+
+	out := NewCache(newG)
+	var st PatchStats
+	for k, snap := range snaps {
+		patched, reused := patchSnapshot(newG, snap, info, insRegion, k)
+		out.snaps[k] = patched
+		if reused {
+			st.SnapshotsReused++
+		} else {
+			st.SnapshotsPatched++
+		}
+	}
+	return out, st
+}
+
+// patchSnapshot rebuilds one per-k snapshot for newG, keeping the
+// survivors of untouched components verbatim and re-running the
+// pipeline only on the dirty region. reused reports that the old
+// snapshot was returned as-is.
+func patchSnapshot(newG *graph.Graph, snap *Snapshot, info *graph.ApplyInfo, insRegion []int32, k int32) (*Snapshot, bool) {
+	sub := snap.Sub
+	comps := graph.ConnectedComponents(sub.G)
+	cleanSub := make([]bool, sub.G.N())
+	var clean, dirty []int32 // original ids
+	for _, comp := range comps {
+		isDirty := false
+		for _, v := range comp {
+			if info.Touches(sub.ToParent[v]) {
+				isDirty = true
+				break
+			}
+		}
+		for _, v := range comp {
+			if isDirty {
+				dirty = append(dirty, sub.ToParent[v])
+			} else {
+				cleanSub[v] = true
+				clean = append(clean, sub.ToParent[v])
+			}
+		}
+	}
+	if len(dirty) == 0 && len(insRegion) == 0 {
+		// No endpoint touches the snapshot and nothing was inserted: the
+		// old snapshot graph is bit-identical to what a rebuild would
+		// induce (deletions outside the survivor set cannot reach it).
+		return snap, true
+	}
+
+	// Dirty region: touched components' survivors plus the inserted
+	// edges' closed common neighborhoods, deduplicated.
+	region := make(map[int32]bool, len(dirty)+len(insRegion))
+	for _, v := range dirty {
+		region[v] = true
+	}
+	for _, v := range insRegion {
+		region[v] = true
+	}
+	regionIDs := make([]int32, 0, len(region))
+	for v := range region {
+		regionIDs = append(regionIDs, v)
+	}
+	sort.Slice(regionIDs, func(i, j int) bool { return regionIDs[i] < regionIDs[j] })
+
+	fresh, stages := Pipeline(graph.Induce(newG, regionIDs).G, k)
+	// fresh ids index regionIDs (Induce preserves order), so chain back
+	// to original ids and union with the clean survivors.
+	survivors := make([]int32, 0, len(clean)+int(fresh.G.N()))
+	survivors = append(survivors, clean...)
+	for _, v := range fresh.ToParent {
+		survivors = append(survivors, regionIDs[v])
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+	uniq := survivors[:0]
+	for i, v := range survivors {
+		if i > 0 && v == survivors[i-1] {
+			continue
+		}
+		uniq = append(uniq, v)
+	}
+
+	// Splice the EDGES, not just the vertices: the pipeline peels edges
+	// too (ColorfulSup), so a plain vertex-induced subgraph of newG
+	// would silently restore peeled edges inside clean components —
+	// bloating searches and, worse, potentially reconnecting clean
+	// components through a restored inter-survivor edge, which would
+	// defeat the prepared-state adoption downstream. The safe edge set
+	// is exactly (old snapshot edges among clean vertices) ∪ (the fresh
+	// run's surviving edges): a fair clique in a clean component was
+	// preserved edge-complete by the old run, and every other fair
+	// clique lives inside the dirty region, where the fresh run
+	// preserved it edge-complete. Duplicates (a clean vertex that also
+	// sat in the region as a common neighbor) are deduplicated by the
+	// builder.
+	toNew := make(map[int32]int32, len(uniq))
+	b := graph.NewBuilder(len(uniq))
+	for i, orig := range uniq {
+		toNew[orig] = int32(i)
+		b.SetAttr(int32(i), newG.Attr(orig))
+	}
+	for e := int32(0); e < sub.G.M(); e++ {
+		u, v := sub.G.Edge(e)
+		if cleanSub[u] && cleanSub[v] {
+			b.AddEdge(toNew[sub.ToParent[u]], toNew[sub.ToParent[v]])
+		}
+	}
+	for e := int32(0); e < fresh.G.M(); e++ {
+		u, v := fresh.G.Edge(e)
+		b.AddEdge(toNew[regionIDs[fresh.ToParent[u]]], toNew[regionIDs[fresh.ToParent[v]]])
+	}
+	spliced := &graph.Subgraph{G: b.Build(), ToParent: uniq}
+	return &Snapshot{Sub: spliced, Stages: stages}, false
+}

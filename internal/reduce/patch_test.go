@@ -1,0 +1,183 @@
+package reduce_test
+
+// External test package so the validity oracle (internal/enum) can be
+// used without an import cycle.
+
+import (
+	"testing"
+
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+	"fairclique/internal/reduce"
+	"fairclique/internal/rng"
+)
+
+func randomAttributed(seed uint64, n int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomDelta(r *rng.RNG, g *graph.Graph) *graph.Delta {
+	d := &graph.Delta{}
+	n := int(g.N())
+	for i := 0; i < 1+r.Intn(3); i++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u != v {
+			d.AddEdges = append(d.AddEdges, [2]int32{u, v})
+		}
+	}
+	for i := 0; i < r.Intn(3) && g.M() > 0; i++ {
+		u, v := g.Edge(int32(r.Intn(int(g.M()))))
+		ok := true
+		for _, e := range d.AddEdges {
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+				ok = false
+			}
+		}
+		if ok {
+			d.DelEdges = append(d.DelEdges, [2]int32{u, v})
+		}
+	}
+	return d
+}
+
+// Every patched snapshot must stay a *valid* reduction of the mutated
+// graph: the maximum (k', δ)-fair clique of the snapshot subgraph
+// equals the true maximum for every k' >= k, checked against the
+// independent Bron–Kerbosch baseline.
+func TestPatchedClonePreservesOptima(t *testing.T) {
+	r := rng.New(515)
+	for trial := 0; trial < 25; trial++ {
+		g := randomAttributed(uint64(trial)+100, 16+trial%5, 0.35)
+		c := reduce.NewCache(g)
+		for k := int32(1); k <= 3; k++ {
+			c.Get(k)
+		}
+		d := randomDelta(r, g)
+		newG, info, err := graph.ApplyDelta(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched, st := c.PatchedClone(newG, info)
+		if st.SnapshotsPatched+st.SnapshotsReused != 3 {
+			t.Fatalf("trial %d: %d+%d snapshots accounted, want 3", trial, st.SnapshotsPatched, st.SnapshotsReused)
+		}
+		// Clean components must carry over edge-exactly: the patch may
+		// not restore edges the original pipeline peeled, nor lose any.
+		for k := int32(1); k <= 3; k++ {
+			old := c.Get(k)
+			cur := patched.Get(k)
+			curID := make(map[int32]int32, cur.Sub.G.N())
+			for v := int32(0); v < cur.Sub.G.N(); v++ {
+				curID[cur.Sub.ToParent[v]] = v
+			}
+			for _, comp := range graph.ConnectedComponents(old.Sub.G) {
+				cleanComp := true
+				for _, v := range comp {
+					if info.Touches(old.Sub.ToParent[v]) {
+						cleanComp = false
+						break
+					}
+				}
+				if !cleanComp {
+					continue
+				}
+				for i := 0; i < len(comp); i++ {
+					for j := i + 1; j < len(comp); j++ {
+						ou, ov := old.Sub.ToParent[comp[i]], old.Sub.ToParent[comp[j]]
+						nu, okU := curID[ou]
+						nv, okV := curID[ov]
+						if !okU || !okV {
+							t.Fatalf("trial %d k=%d: clean survivors %d/%d missing after patch", trial, k, ou, ov)
+						}
+						if old.Sub.G.HasEdge(comp[i], comp[j]) != cur.Sub.G.HasEdge(nu, nv) {
+							t.Fatalf("trial %d k=%d: clean-component edge (%d,%d) changed across the patch (peeled edge restored or lost)",
+								trial, k, ou, ov)
+						}
+					}
+				}
+			}
+		}
+		for k := int32(1); k <= 3; k++ {
+			snap := patched.Get(k)
+			for delta := 0; delta <= 2; delta++ {
+				want := len(enum.MaxFairClique(newG, int(k), delta))
+				got := len(enum.MaxFairClique(snap.Sub.G, int(k), delta))
+				if got != want {
+					t.Fatalf("trial %d k=%d δ=%d: snapshot optimum %d, true optimum %d (delta %+v)",
+						trial, k, delta, got, want, d)
+				}
+			}
+		}
+		// The old cache still answers for the old graph (in-flight
+		// queries during an Apply keep reading it).
+		for k := int32(1); k <= 3; k++ {
+			snap := c.Get(k)
+			want := len(enum.MaxFairClique(g, int(k), 1))
+			if got := len(enum.MaxFairClique(snap.Sub.G, int(k), 1)); got != want {
+				t.Fatalf("trial %d k=%d: old cache corrupted by patch: %d vs %d", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// A delta that never touches a snapshot's survivors — and inserts
+// nothing — must reuse the snapshot verbatim (pointer equality), the
+// cheap path the dynamic benchmark leans on.
+func TestPatchedCloneReusesUntouchedSnapshots(t *testing.T) {
+	// A balanced K6 nucleus (vertices 0-5) plus a pendant path 6-7-8:
+	// the path is peeled by the k=2 reduction, so its edges are outside
+	// the snapshot.
+	b := graph.NewBuilder(9)
+	for v := int32(0); v < 9; v++ {
+		b.SetAttr(v, graph.Attr(v%2))
+	}
+	for u := int32(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	g := b.Build()
+
+	c := reduce.NewCache(g)
+	snap := c.Get(2)
+	if snap.Sub.G.N() != 6 {
+		t.Fatalf("k=2 snapshot kept %d vertices, want the K6 nucleus", snap.Sub.G.N())
+	}
+	newG, info, err := graph.ApplyDelta(g, &graph.Delta{DelEdges: [][2]int32{{7, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, st := c.PatchedClone(newG, info)
+	if st.SnapshotsReused != 1 || st.SnapshotsPatched != 0 {
+		t.Fatalf("reused/patched = %d/%d, want 1/0", st.SnapshotsReused, st.SnapshotsPatched)
+	}
+	if patched.Get(2) != snap {
+		t.Fatal("untouched snapshot was rebuilt instead of reused")
+	}
+
+	// Inserting an edge forces a patch (the new edge could create
+	// cliques), even far from the snapshot.
+	newG2, info2, err := graph.ApplyDelta(g, &graph.Delta{AddEdges: [][2]int32{{6, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2 := c.PatchedClone(newG2, info2)
+	if st2.SnapshotsPatched != 1 {
+		t.Fatalf("insertion did not patch the snapshot: %+v", st2)
+	}
+}

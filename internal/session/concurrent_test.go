@@ -47,7 +47,7 @@ func TestSessionConcurrentGridRace(t *testing.T) {
 func TestSessionConcurrentFindsRace(t *testing.T) {
 	g := random(11, 44, 0.35)
 	s := New(g, Options{UseBounds: true, Extra: bounds.ColorfulDegeneracy})
-	qs := []Query{{1, 0}, {1, 3}, {2, 0}, {2, 2}, {3, 1}, {2, 44}}
+	qs := []Query{{K: 1, Delta: 0}, {K: 1, Delta: 3}, {K: 2, Delta: 0}, {K: 2, Delta: 2}, {K: 3, Delta: 1}, {K: 2, Delta: 44}}
 	want := make([]int, len(qs))
 	for i, q := range qs {
 		want[i] = independent(t, g, q, Options{UseBounds: true, Extra: bounds.ColorfulDegeneracy}).Size()

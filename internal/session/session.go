@@ -1,7 +1,10 @@
-// Package session implements the multi-query engine: a Session freezes
+// Package session implements the multi-query engine: a Session holds
 // one attributed graph and answers an arbitrary stream — or grid — of
 // maximum-fair-clique queries (k, δ) against it, amortizing everything
 // that is query-independent and letting queries warm-start each other.
+// Since the dynamic-sessions refactor the graph is no longer frozen
+// forever: Apply mutates it with a batched delta and invalidates only
+// the state the delta actually touches.
 //
 // What is shared, and at which level:
 //
@@ -22,17 +25,54 @@
 //     becomes core.Options.StopAtSize so the search stops the moment it
 //     proves optimality.
 //
+// # Epochs and component-scoped invalidation
+//
+// All of that state hangs off an immutable *epoch*. Queries load the
+// current epoch once (a single atomic pointer read) and run entirely
+// against it; Apply builds the NEXT epoch beside the live one —
+// copy-on-invalidate, no stop-the-world — and swaps the pointer when
+// it is complete. In-flight queries race-freely finish on the epoch
+// they started on (their answers describe the pre-delta graph); new
+// queries see the new epoch. Vertex ids are stable across epochs
+// (deletion isolates, insertion appends), so cliques, seeds and
+// mappings never need translation.
+//
+// Apply invalidates only what the delta touches:
+//
+//   - Per-k reduction snapshots are patched component-locally
+//     (reduce.Cache.PatchedClone): snapshot components free of delta
+//     endpoints are retained verbatim, the rest plus the inserted
+//     edges' common neighborhoods are re-piped on their own induced
+//     subgraph.
+//   - Per-k prepared components are re-prepared incrementally
+//     (core.PrepareIncremental): structurally unchanged components
+//     adopt the previous epoch's relabeling, successor masks and
+//     arenas; merged, split or touched components rebuild lazily.
+//   - The clique pool keeps every clique that still is one in the new
+//     graph (deletions kill witnesses; insertions never do).
+//   - The monotonicity table survives as upper bounds: a new clique
+//     must use an inserted edge (u, v) and hence fits inside
+//     {u, v} ∪ (N(u) ∩ N(v)), so every cell is relaxed to at least
+//     floor = max 2 + |N(u) ∩ N(v)| and stays safe
+//     (bounds.GridTable.Relax). A requery whose retained seed meets
+//     the relaxed bound is still answered with zero branching.
+//
 // Grid queries (FindGrid) are scheduled k-ascending, δ-descending —
 // the order that maximizes both chains: weak cells solve first and
 // bound/seed the strict ones — and run concurrently on a cell pool,
 // each cell with its own incumbent, on top of the engine's existing
 // intra-query root-split + donation parallelism.
+//
+// Long-lived sessions bound their footprint with Options.MaxPreparedK
+// (LRU eviction of per-k prepared state + reduction snapshot) and
+// Options.MaxPoolSeeds (smallest pooled cliques dropped first).
 package session
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/core"
@@ -62,12 +102,23 @@ type Options struct {
 	// spreads it across concurrent cells first and gives each cell the
 	// remainder.
 	Workers int
+	// MaxPreparedK bounds the number of distinct k values whose
+	// prepared state (reduction snapshot + component machinery) is kept
+	// warm; the least recently used is evicted beyond the cap and
+	// rebuilt on demand. 0 = unlimited.
+	MaxPreparedK int
+	// MaxPoolSeeds bounds the warm-start clique pool; the smallest
+	// pooled cliques are dropped first beyond the cap. 0 = unlimited.
+	MaxPoolSeeds int
 }
 
-// Query is one (k, δ) cell. Weak and strong fairness are expressed by
-// the caller as δ = n and δ = 0 respectively (see the public wrapper).
+// Query is one (k, δ) cell. Strong fairness is δ = 0; weak fairness
+// (no balance constraint) is requested with Weak, which resolves δ to
+// the CURRENT vertex count at query time — callers of a dynamic
+// session should prefer it over passing δ = n themselves.
 type Query struct {
 	K, Delta int32
+	Weak     bool
 }
 
 // Stats aggregates the work of every query answered so far.
@@ -89,6 +140,24 @@ type Stats struct {
 	// branching because the seed met the monotonicity bound (or the
 	// bound proved no clique exists).
 	WarmStarts, DominanceSkips int64
+	// Applies counts graph deltas applied; Epoch is the current epoch
+	// id (0 before the first Apply).
+	Applies, Epoch int64
+	// SnapshotsPatched and SnapshotsReused count per-k reduction
+	// snapshots that an Apply re-piped on their dirty region versus
+	// carried over verbatim.
+	SnapshotsPatched, SnapshotsReused int64
+	// CompPrepsReused counts per-component prepared machinery
+	// (relabeling, successor masks, arenas) adopted across an Apply
+	// instead of being rebuilt — the component-scoped invalidation
+	// receipt.
+	CompPrepsReused int64
+	// PoolRetained and PoolDropped count warm-start cliques that
+	// survived an Apply versus ones its deletions destroyed.
+	PoolRetained, PoolDropped int64
+	// PrepEvictions counts per-k prepared states evicted by the
+	// MaxPreparedK LRU cap.
+	PrepEvictions int64
 }
 
 // poolClique is one discovered fair clique, kept as warm-start
@@ -100,46 +169,67 @@ type poolClique struct {
 	diff   int32 // |na - nb|
 }
 
-// Session is a prepared multi-query engine over one frozen graph. It
-// is safe for concurrent use.
-type Session struct {
+// prepEntry builds a per-k core.Prepared exactly once, without holding
+// the epoch lock across the (potentially expensive) build. The pointer
+// is atomic so Apply can observe whether the build finished without
+// racing one that is in flight.
+type prepEntry struct {
+	once    sync.Once
+	p       atomic.Pointer[core.Prepared]
+	lastUse int64 // LRU tick, guarded by epoch.mu
+}
+
+// epoch is one immutable-graph generation of the session: the graph,
+// its reduction cache and per-k prepared state, and the cross-query
+// warm-start material. Queries operate on exactly one epoch; Apply
+// replaces the session's current epoch wholesale.
+type epoch struct {
+	id   int64
 	g    *graph.Graph
-	opt  Options
 	reds *reduce.Cache // nil when SkipReduction
 
 	mu    sync.Mutex
 	preps map[int32]*prepEntry
+	tick  int64 // LRU clock for preps
 	table bounds.GridTable
 	pool  []poolClique
-	stats Stats
 }
 
-// prepEntry builds a per-k core.Prepared exactly once, without holding
-// the session lock across the (potentially expensive) build.
-type prepEntry struct {
-	once sync.Once
-	p    *core.Prepared
+// Session is a prepared multi-query engine over one mutable graph. It
+// is safe for concurrent use, including queries racing an Apply.
+type Session struct {
+	opt Options
+
+	cur     atomic.Pointer[epoch]
+	applyMu sync.Mutex // serializes Apply
+
+	mu       sync.Mutex // guards stats and redsBase
+	stats    Stats
+	redsBase reduce.CacheStats // folded-in counters of retired epochs' caches
 }
 
-// New freezes g into a session. The graph must not be mutated
-// afterwards.
+// New wraps g in a session. The caller must not mutate g afterwards
+// except through Apply.
 func New(g *graph.Graph, opt Options) *Session {
-	s := &Session{g: g, opt: opt, preps: make(map[int32]*prepEntry)}
+	s := &Session{opt: opt}
+	e := &epoch{g: g, preps: make(map[int32]*prepEntry)}
 	if !opt.SkipReduction {
-		s.reds = reduce.NewCache(g)
+		e.reds = reduce.NewCache(g)
 	}
+	s.cur.Store(e)
 	return s
 }
 
-// Graph returns the frozen graph the session answers queries about.
-func (s *Session) Graph() *graph.Graph { return s.g }
+// Graph returns the graph the session currently answers queries about
+// (the latest epoch's).
+func (s *Session) Graph() *graph.Graph { return s.cur.Load().g }
 
 // validate rejects malformed queries before any state is touched.
 func validate(q Query) error {
 	if q.K < 1 {
 		return fmt.Errorf("session: K must be >= 1, got %d", q.K)
 	}
-	if q.Delta < 0 {
+	if q.Delta < 0 && !q.Weak {
 		return fmt.Errorf("session: Delta must be >= 0, got %d", q.Delta)
 	}
 	return nil
@@ -180,7 +270,14 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 		if qa.K != qb.K {
 			return qa.K < qb.K
 		}
-		return qa.Delta > qb.Delta
+		da, db := qa.Delta, qb.Delta
+		if qa.Weak {
+			da = int32(1) << 30 // weak sorts loosest
+		}
+		if qb.Weak {
+			db = int32(1) << 30
+		}
+		return da > db
 	})
 
 	workers := s.opt.Workers
@@ -231,51 +328,61 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 	return results, nil
 }
 
-// Stats returns a copy of the session's aggregated counters.
+// Stats returns a copy of the session's aggregated counters, including
+// the reduction work of every epoch so far.
 func (s *Session) Stats() Stats {
+	e := s.cur.Load()
 	s.mu.Lock()
 	st := s.stats
+	base := s.redsBase
 	s.mu.Unlock()
-	if s.reds != nil {
-		rs := s.reds.Stats()
-		st.ReductionBuilds = rs.Builds
-		st.ReductionChained = rs.Chained
+	st.Epoch = e.id
+	st.ReductionBuilds += base.Builds
+	st.ReductionChained += base.Chained
+	st.ReductionReuses += base.Hits
+	if e.reds != nil {
+		rs := e.reds.Stats()
+		st.ReductionBuilds += rs.Builds
+		st.ReductionChained += rs.Chained
 		st.ReductionReuses += rs.Hits
 	}
 	return st
 }
 
 // find is the per-cell engine: monotonicity skip, warm-started search,
-// result registration.
+// result registration. The epoch is loaded exactly once; everything —
+// bound lookup, prepared state, result registration — happens against
+// it, so a concurrent Apply never mixes two graphs inside one query.
 func (s *Session) find(q Query, workers int) (*core.Result, error) {
+	e := s.cur.Load()
+	if q.Weak {
+		q.Delta = e.g.N() // no balance constraint at this epoch's size
+	}
+
+	e.mu.Lock()
+	ub, haveUB := e.table.UpperBound(q.K, q.Delta)
+	seed := bestSeedLocked(e, q)
+	e.mu.Unlock()
 	s.mu.Lock()
 	s.stats.Queries++
-	ub, haveUB := s.table.UpperBound(q.K, q.Delta)
-	seed := s.bestSeedLocked(q)
 	s.mu.Unlock()
 
 	if haveUB {
 		if ub < 2*q.K {
 			// Every (k, δ)-fair clique has at least 2k vertices, so the
 			// inherited bound proves this cell empty without branching.
-			s.mu.Lock()
-			s.stats.DominanceSkips++
-			s.table.Add(q.K, q.Delta, 0)
-			s.mu.Unlock()
+			s.recordSkip(e, q, 0)
 			return &core.Result{}, nil
 		}
 		if seed != nil && int32(len(seed)) == ub {
 			// The pooled clique meets the inherited upper bound: it IS
 			// a maximum fair clique for this cell.
-			s.mu.Lock()
-			s.stats.DominanceSkips++
-			s.table.Add(q.K, q.Delta, ub)
-			s.mu.Unlock()
+			s.recordSkip(e, q, ub)
 			return &core.Result{Clique: append([]int32(nil), seed...)}, nil
 		}
 	}
 
-	p := s.prepared(q.K)
+	p := s.prepared(e, q.K)
 	opt := core.Options{
 		K:            int(q.K),
 		Delta:        int(q.Delta),
@@ -301,57 +408,245 @@ func (s *Session) find(q Query, workers int) (*core.Result, error) {
 	if seed != nil {
 		s.stats.WarmStarts++
 	}
+	s.mu.Unlock()
 	// Aborted (MaxNodes-capped) answers are inexact: they must enter
 	// neither the monotonicity table nor the warm-start pool (the
-	// documented contract — a capped answer is never reused).
+	// documented contract — a capped answer is never reused). Note the
+	// registration goes to the query's own epoch: an answer computed on
+	// a pre-delta graph must never bound post-delta queries.
 	if !res.Stats.Aborted {
-		s.table.Add(q.K, q.Delta, int32(res.Size()))
+		e.mu.Lock()
+		e.table.Add(q.K, q.Delta, int32(res.Size()))
 		if res.Clique != nil {
-			s.addPoolLocked(res.Clique)
+			s.addPoolLocked(e, res.Clique)
 		}
+		e.mu.Unlock()
 	}
-	s.mu.Unlock()
 	return res, nil
 }
 
-// prepared returns the frozen search machinery for size constraint k,
-// building it at most once. With SkipReduction all k values share one
-// view of the raw graph (keyed 0).
-func (s *Session) prepared(k int32) *core.Prepared {
+// recordSkip accounts a zero-branching answer on the query's epoch.
+func (s *Session) recordSkip(e *epoch, q Query, size int32) {
+	e.mu.Lock()
+	e.table.Add(q.K, q.Delta, size)
+	e.mu.Unlock()
+	s.mu.Lock()
+	s.stats.DominanceSkips++
+	s.mu.Unlock()
+}
+
+// prepared returns the frozen search machinery for size constraint k
+// on the given epoch, building it at most once and bumping the LRU
+// clock. With SkipReduction all k values share one view of the raw
+// graph (keyed 0).
+func (s *Session) prepared(e *epoch, k int32) *core.Prepared {
 	key := k
 	if s.opt.SkipReduction {
 		key = 0
 	}
-	s.mu.Lock()
-	e, ok := s.preps[key]
+	e.mu.Lock()
+	ent, ok := e.preps[key]
 	if !ok {
-		e = &prepEntry{}
-		s.preps[key] = e
+		ent = &prepEntry{}
+		e.preps[key] = ent
+		s.evictLocked(e, key)
 	} else {
+		s.mu.Lock()
 		s.stats.ReductionReuses++
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
-	e.once.Do(func() {
+	e.tick++
+	ent.lastUse = e.tick
+	e.mu.Unlock()
+	ent.once.Do(func() {
 		if s.opt.SkipReduction {
-			ids := make([]int32, s.g.N())
-			for i := range ids {
-				ids[i] = int32(i)
-			}
-			e.p = core.PrepareReduced(s.g, ids)
+			ent.p.Store(core.PrepareReduced(e.g, identity(e.g.N())))
 		} else {
-			snap := s.reds.Get(k)
-			e.p = core.PrepareReduced(snap.Sub.G, snap.Sub.ToParent)
+			snap := e.reds.Get(k)
+			ent.p.Store(core.PrepareReduced(snap.Sub.G, snap.Sub.ToParent))
 		}
 	})
-	return e.p
+	return ent.p.Load()
+}
+
+// evictLocked enforces the MaxPreparedK LRU cap after a new key was
+// inserted; e.mu must be held. The newest key is never the victim. An
+// evicted build that is still in flight simply finishes unobserved —
+// its entry is unreachable and garbage once its users return.
+func (s *Session) evictLocked(e *epoch, newest int32) {
+	if s.opt.MaxPreparedK <= 0 {
+		return
+	}
+	for len(e.preps) > s.opt.MaxPreparedK {
+		victim, oldest := int32(0), int64(1)<<62
+		found := false
+		for k, ent := range e.preps {
+			if k == newest {
+				continue
+			}
+			if ent.lastUse < oldest {
+				victim, oldest, found = k, ent.lastUse, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(e.preps, victim)
+		if e.reds != nil {
+			e.reds.Evict(victim)
+		}
+		s.mu.Lock()
+		s.stats.PrepEvictions++
+		s.mu.Unlock()
+	}
+}
+
+// ApplyStats reports what one Apply invalidated and what it retained.
+type ApplyStats struct {
+	// Epoch is the id of the epoch the delta created.
+	Epoch int64
+	// InsertedEdges/DeletedEdges/NewVertices are the delta's effective
+	// size (deduplicated against the pre-delta graph).
+	InsertedEdges, DeletedEdges, NewVertices int
+	// SnapshotsPatched/SnapshotsReused count per-k reduction snapshots
+	// re-piped on their dirty region vs carried over verbatim.
+	SnapshotsPatched, SnapshotsReused int64
+	// CompPrepsReused counts adopted per-component machinery.
+	CompPrepsReused int64
+	// PoolRetained/PoolDropped count surviving vs destroyed warm-start
+	// cliques.
+	PoolRetained, PoolDropped int64
+}
+
+// Apply mutates the session's graph with a batched delta and swaps in
+// a new epoch whose state is invalidated component-locally: untouched
+// reduction-snapshot components and prepared components carry over,
+// surviving pooled cliques keep seeding, and the monotonicity table is
+// relaxed into safe upper bounds instead of being flushed. Queries
+// already in flight finish race-free on the previous epoch (their
+// answers describe the pre-delta graph); queries started after Apply
+// returns see the new graph. Concurrent Apply calls are serialized.
+func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+
+	old := s.cur.Load()
+	if d.Empty() {
+		// Nothing to do: keep the live epoch instead of paying a full
+		// graph rebuild for a no-op.
+		return ApplyStats{Epoch: old.id}, nil
+	}
+	newG, info, err := graph.ApplyDelta(old.g, d)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	ne := &epoch{id: old.id + 1, g: newG, preps: make(map[int32]*prepEntry)}
+	ast := ApplyStats{
+		Epoch:         ne.id,
+		InsertedEdges: len(info.Inserted),
+		DeletedEdges:  len(info.Deleted),
+		NewVertices:   int(info.NewVertexCount),
+	}
+
+	// Reduction snapshots: component-scoped patch, old cache untouched.
+	var pst reduce.PatchStats
+	if old.reds != nil {
+		ne.reds, pst = old.reds.PatchedClone(newG, info)
+		ast.SnapshotsPatched, ast.SnapshotsReused = pst.SnapshotsPatched, pst.SnapshotsReused
+	}
+
+	// The insertion floor for the monotonicity table: any clique the
+	// delta makes possible contains an inserted edge and fits in its
+	// closed common neighborhood.
+	var floor int32
+	for _, e := range info.Inserted {
+		if ub := int32(2 + newG.CountCommonNeighbors(e[0], e[1])); ub > floor {
+			floor = ub
+		}
+	}
+
+	old.mu.Lock()
+	ne.table = old.table.Relax(floor)
+	oldPool := append([]poolClique(nil), old.pool...)
+	oldPreps := make(map[int32]*prepEntry, len(old.preps))
+	// lastUse is guarded by epoch.mu and in-flight queries on the
+	// retiring epoch keep bumping it, so copy the ticks inside this
+	// critical section rather than reading entries later.
+	oldTicks := make(map[int32]int64, len(old.preps))
+	for k, ent := range old.preps {
+		oldPreps[k] = ent
+		oldTicks[k] = ent.lastUse
+	}
+	// The new epoch inherits the LRU clock along with the carried
+	// lastUse ticks; restarting it at zero would make every carried
+	// entry look hotter than all future accesses and invert the
+	// MaxPreparedK eviction order.
+	ne.tick = old.tick
+	old.mu.Unlock()
+
+	// Pool: a clique survives iff it is still a clique (attributes are
+	// immutable, insertions cannot break one, deletions can).
+	for _, c := range oldPool {
+		if newG.IsClique(c.verts) {
+			ne.pool = append(ne.pool, c)
+			ast.PoolRetained++
+		} else {
+			ast.PoolDropped++
+		}
+	}
+
+	// Prepared state: re-prepare each built k against the patched
+	// snapshot, adopting every structurally untouched component.
+	for key, ent := range oldPreps {
+		prev := ent.p.Load()
+		if prev == nil {
+			continue // never built: the new epoch rebuilds lazily on demand
+		}
+		var p *core.Prepared
+		var adopted int
+		if s.opt.SkipReduction {
+			p, adopted = core.PrepareIncremental(newG, identity(newG.N()), prev, info.Touches)
+		} else {
+			snap, ok := ne.reds.Cached(key)
+			if !ok {
+				continue // snapshot evicted meanwhile; rebuild lazily
+			}
+			p, adopted = core.PrepareIncremental(snap.Sub.G, snap.Sub.ToParent, prev, info.Touches)
+		}
+		ast.CompPrepsReused += int64(adopted)
+		nent := &prepEntry{lastUse: oldTicks[key]}
+		nent.p.Store(p)
+		nent.once.Do(func() {}) // mark built
+		ne.preps[key] = nent
+	}
+
+	// Publish. Retired epochs keep serving their in-flight queries;
+	// their reduction counters are folded into the session's base so
+	// Stats stays cumulative.
+	s.mu.Lock()
+	s.stats.Applies++
+	s.stats.SnapshotsPatched += pst.SnapshotsPatched
+	s.stats.SnapshotsReused += pst.SnapshotsReused
+	s.stats.CompPrepsReused += ast.CompPrepsReused
+	s.stats.PoolRetained += ast.PoolRetained
+	s.stats.PoolDropped += ast.PoolDropped
+	if old.reds != nil {
+		rs := old.reds.Stats()
+		s.redsBase.Builds += rs.Builds
+		s.redsBase.Chained += rs.Chained
+		s.redsBase.Hits += rs.Hits
+	}
+	s.mu.Unlock()
+	s.cur.Store(ne)
+	return ast, nil
 }
 
 // bestSeedLocked returns the largest pooled clique that is itself
 // (k, δ)-fair, or nil. Pool entries are immutable, so the slice may be
-// handed to the search as-is.
-func (s *Session) bestSeedLocked(q Query) []int32 {
+// handed to the search as-is. e.mu must be held.
+func bestSeedLocked(e *epoch, q Query) []int32 {
 	var best []int32
-	for _, c := range s.pool {
+	for _, c := range e.pool {
 		if c.na >= q.K && c.nb >= q.K && c.diff <= q.Delta && len(c.verts) > len(best) {
 			best = c.verts
 		}
@@ -362,8 +657,10 @@ func (s *Session) bestSeedLocked(q Query) []int32 {
 // addPoolLocked pools a discovered fair clique for future warm-starts,
 // keeping only the Pareto frontier: clique A supersedes B when A is
 // valid wherever B is (min count >= , diff <=) and at least as large.
-func (s *Session) addPoolLocked(clique []int32) {
-	na, nb := s.g.CountAttrs(clique)
+// Beyond Options.MaxPoolSeeds the smallest cliques are dropped first.
+// e.mu must be held.
+func (s *Session) addPoolLocked(e *epoch, clique []int32) {
+	na, nb := e.g.CountAttrs(clique)
 	c := poolClique{
 		verts: append([]int32(nil), clique...),
 		na:    int32(na), nb: int32(nb),
@@ -377,17 +674,34 @@ func (s *Session) addPoolLocked(clique []int32) {
 		}
 		return p.nb
 	}
-	for _, e := range s.pool {
-		if minC(e) >= minC(c) && e.diff <= c.diff && len(e.verts) >= len(c.verts) {
+	for _, x := range e.pool {
+		if minC(x) >= minC(c) && x.diff <= c.diff && len(x.verts) >= len(c.verts) {
 			return // dominated by an existing entry
 		}
 	}
-	kept := s.pool[:0]
-	for _, e := range s.pool {
-		if minC(c) >= minC(e) && c.diff <= e.diff && len(c.verts) >= len(e.verts) {
-			continue // the new entry supersedes e
+	kept := e.pool[:0]
+	for _, x := range e.pool {
+		if minC(c) >= minC(x) && c.diff <= x.diff && len(c.verts) >= len(x.verts) {
+			continue // the new entry supersedes x
 		}
-		kept = append(kept, e)
+		kept = append(kept, x)
 	}
-	s.pool = append(kept, c)
+	e.pool = append(kept, c)
+	for s.opt.MaxPoolSeeds > 0 && len(e.pool) > s.opt.MaxPoolSeeds {
+		smallest := 0
+		for i := 1; i < len(e.pool); i++ {
+			if len(e.pool[i].verts) < len(e.pool[smallest].verts) {
+				smallest = i
+			}
+		}
+		e.pool = append(e.pool[:smallest], e.pool[smallest+1:]...)
+	}
+}
+
+func identity(n int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
 }

@@ -201,3 +201,83 @@ func TestIsFairCliqueMatchesFirstPrinciples(t *testing.T) {
 		}
 	}
 }
+
+// The exhaustive oracle, interleaved with graph deltas: after every
+// random Apply the warm session must still agree with a from-scratch
+// 2^n ground truth computed on the test's own mirror of the mutated
+// graph — weak, strong and relative modes alike.
+func TestBruteForceOracleAfterApply(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive oracle in -short mode")
+	}
+	r := rng.New(4242)
+	for seed := uint64(0); seed < 4; seed++ {
+		g := buildRandom(seed+1300, 14, 0.45)
+		m := newGraphModel(g)
+		s := NewSession(g)
+		// Warm queries before the first delta.
+		if _, err := s.FindGrid([]QuerySpec{{K: 1, Delta: 1}, {K: 2, Delta: 0}, {K: 2, Mode: ModeWeak}}); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			var d Delta
+			// Keep n <= 18 for the oracle: edges only.
+			for i := 0; i < 1+r.Intn(3); i++ {
+				u, v := r.Intn(14), r.Intn(14)
+				if u != v {
+					d.AddEdges = append(d.AddEdges, [2]int{u, v})
+				}
+			}
+			var existing [][2]int
+			for e := range m.edges {
+				existing = append(existing, e)
+			}
+			for i := 0; i < r.Intn(3) && len(existing) > 0; i++ {
+				e := existing[r.Intn(len(existing))]
+				clash := false
+				for _, a := range d.AddEdges {
+					if (a[0] == e[0] && a[1] == e[1]) || (a[0] == e[1] && a[1] == e[0]) {
+						clash = true
+					}
+				}
+				if !clash {
+					d.DelEdges = append(d.DelEdges, e)
+				}
+			}
+			if _, err := s.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+			m.apply(d)
+			fresh := m.build()
+			bf := newBruteForce(t, fresh)
+			for k := 1; k <= 2; k++ {
+				for _, tc := range []struct {
+					name  string
+					delta int // -1 = weak
+					spec  QuerySpec
+				}{
+					{"strong", 0, QuerySpec{K: k, Mode: ModeStrong}},
+					{"weak", -1, QuerySpec{K: k, Mode: ModeWeak}},
+					{"relative-d1", 1, QuerySpec{K: k, Delta: 1}},
+				} {
+					want, _ := bf.opt(k, tc.delta)
+					got, err := s.Find(tc.spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Size() != want {
+						t.Fatalf("seed=%d round=%d k=%d %s: post-Apply Session.Find %d, oracle %d",
+							seed, round, k, tc.name, got.Size(), want)
+					}
+					isDelta := tc.delta
+					if isDelta < 0 {
+						isDelta = fresh.N()
+					}
+					if want > 0 && !fresh.IsFairClique(got.Clique, k, isDelta) {
+						t.Fatalf("seed=%d round=%d k=%d %s: post-Apply clique invalid", seed, round, k, tc.name)
+					}
+				}
+			}
+		}
+	}
+}
