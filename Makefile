@@ -6,8 +6,17 @@ GO ?= go
 # a non-1.0 scale changes the instance, so the regression gate reports
 # and skips instead of comparing incomparable numbers).
 BENCH_SCALE ?= 1.0
+# BENCH_OUT_DIR receives the fresh records of bench-check and
+# bench-parallel. Parallel CI jobs give each invocation its own
+# directory so they cannot clobber each other's records (the old fixed
+# /tmp/BENCH_*.new.json paths collided).
+BENCH_OUT_DIR ?= /tmp
+# MIN_SPEEDUP gates bench-parallel: the shared-pool W4/W1 grid speedup
+# must strictly exceed it (0 disables the gate; CI runs 1.0 on the
+# multi-core runner).
+MIN_SPEEDUP ?= 0
 
-.PHONY: build test test-race race bench bench-check bench-full
+.PHONY: build test test-race race bench bench-check bench-parallel bench-full
 
 build:
 	$(GO) build ./...
@@ -19,7 +28,7 @@ test:
 # chunked-row kernels and the session's concurrent grid — under the
 # race detector.
 test-race:
-	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce
+	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce ./internal/sched
 
 race: test-race
 
@@ -27,14 +36,16 @@ race: test-race
 # 1-vs-4 wall-clock comparison of the branch-and-bound engine on the
 # >4096-vertex single-component instance (chunked candidate rows), plus
 # the multi-query session experiment (9-cell grid, amortized vs
-# independent) embedded under "grid" and the dynamic-session experiment
+# independent) embedded under "grid", the dynamic-session experiment
 # (single-edge Apply+requery vs NewSession+requery) embedded under
-# "delta". Future engine PRs compare against the committed record
-# (bench-check).
+# "delta", and the session-global scheduler experiment (grid serial vs
+# static split vs shared work-stealing pool) embedded under "sched".
+# Future engine PRs compare against the committed record (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
 	$(GO) run ./cmd/benchmark -exp grid -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp delta -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp sched -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a
@@ -43,9 +54,20 @@ bench:
 # hard-fail when a session answer diverges from its independent run.
 # CI uploads the fresh records as a workflow artifact (see ci.yml).
 bench-check:
-	$(GO) run ./cmd/benchmark -exp core -scale $(BENCH_SCALE) -baseline BENCH_core.json -out /tmp/BENCH_core.new.json
-	$(GO) run ./cmd/benchmark -exp grid -scale $(BENCH_SCALE) -out /tmp/BENCH_grid.new.json
-	$(GO) run ./cmd/benchmark -exp delta -scale $(BENCH_SCALE) -out /tmp/BENCH_delta.new.json
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) run ./cmd/benchmark -exp core -scale $(BENCH_SCALE) -baseline BENCH_core.json -out $(BENCH_OUT_DIR)/BENCH_core.new.json
+	$(GO) run ./cmd/benchmark -exp grid -scale $(BENCH_SCALE) -out $(BENCH_OUT_DIR)/BENCH_grid.new.json
+	$(GO) run ./cmd/benchmark -exp delta -scale $(BENCH_SCALE) -out $(BENCH_OUT_DIR)/BENCH_delta.new.json
+
+# Measure the session-global scheduler: the same grid serial (W1),
+# statically split (W4) and on the shared work-stealing pool (W4).
+# With MIN_SPEEDUP > 0 the run exits 1 unless the shared-pool W4/W1
+# speedup strictly exceeds it — the CI parallel gate (requires a
+# multi-core machine; committed BENCH records are from 1-CPU containers
+# where the ratio is ~1.0 by construction).
+bench-parallel:
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) run ./cmd/benchmark -exp sched -scale $(BENCH_SCALE) -min-speedup $(MIN_SPEEDUP) -out $(BENCH_OUT_DIR)/BENCH_sched.new.json
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

@@ -10,16 +10,19 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. Three extra experiments always emit JSON
+// casestudies, ablation, all. Four extra experiments always emit JSON
 // and feed BENCH_core.json, the repo's perf trajectory: "core"
 // benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
 // single-giant-component graph), "grid" measures the multi-query
 // session — a (k, δ) grid answered by one warm Session versus
 // independent Find calls (-grid overrides the canonical 9 cells) —
-// and "delta" measures the dynamic session: a single-edge Apply plus
+// "delta" measures the dynamic session: a single-edge Apply plus
 // requery on a warm Session versus NewSession plus requery on the
-// mutated graph (use -merge BENCH_core.json to embed the records;
-// `make bench` runs all three).
+// mutated graph, and "sched" measures the session-global
+// work-stealing scheduler: the same grid serial, statically split and
+// on the shared pool (-min-speedup X exits 1 unless the shared-pool
+// W4/W1 speedup beats X — the bench-parallel CI gate). Use -merge
+// BENCH_core.json to embed the records; `make bench` runs all four.
 package main
 
 import (
@@ -33,14 +36,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		out      = flag.String("out", "", "output path (default stdout)")
-		format   = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
-		maxNodes = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
-		baseline = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
-		merge    = flag.String("merge", "", "for -exp grid/delta: existing BENCH_core.json to embed the record into")
-		gridSpec = flag.String("grid", "", "for -exp grid: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
+		exp        = flag.String("exp", "all", "experiment to run")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		out        = flag.String("out", "", "output path (default stdout)")
+		format     = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
+		maxNodes   = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
+		baseline   = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
+		merge      = flag.String("merge", "", "for -exp grid/delta/sched: existing BENCH_core.json to embed the record into")
+		gridSpec   = flag.String("grid", "", "for -exp grid/sched: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
+		minSpeedup = flag.Float64("min-speedup", 0, "for -exp sched: exit 1 unless the shared-pool W4/W1 grid speedup strictly exceeds this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -88,6 +92,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: delta session bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "sched" {
+		// The session-global scheduler experiment: the grid serial vs
+		// static split vs shared work-stealing pool. JSON-only; -merge
+		// embeds it under "sched"; -min-speedup is the CI parallel gate.
+		if err := bench.WriteSchedBench(cfg, w, *merge, *minSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: sched scheduler bench finished in %v\n", time.Since(start))
 		return
 	}
 	switch *format {

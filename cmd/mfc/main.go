@@ -50,22 +50,23 @@ var boundNames = map[string]fairclique.UpperBound{
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "path to the attributed graph file (required)")
-		k          = flag.Int("k", 2, "per-attribute minimum count")
-		delta      = flag.Int("delta", 1, "maximum attribute-count difference")
-		bound      = flag.String("bound", "cd", "extra upper bound: ad, deg, h, cd, ch, cp")
-		noHeur     = flag.Bool("no-heur", false, "disable HeurRFC seeding")
-		noBounds   = flag.Bool("no-bounds", false, "disable upper-bound pruning (plain MaxRFC)")
-		noReduce   = flag.Bool("no-reduce", false, "skip the reduction pipeline")
-		heurOnly   = flag.Bool("heuristic", false, "run only the linear-time heuristic")
-		reduceOnly = flag.Bool("reduce", false, "run only the reduction pipeline and report sizes")
-		enumerate  = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
-		maxNodes   = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
-		workers    = flag.Int("workers", 1, "parallel branching workers (root branches are split inside each component)")
-		grid       = flag.String("grid", "", "answer a (k, delta) grid on one warm session, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
-		applySpec  = flag.String("apply", "", "apply a graph delta on a warm session and re-answer, e.g. '+e:0:5 -e:1:2 +v:a -v:7'")
-		repl       = flag.Bool("repl", false, "interactive session REPL on stdin (find/grid/apply/stats; see 'help')")
-		quiet      = flag.Bool("q", false, "print only the clique size")
+		graphPath   = flag.String("graph", "", "path to the attributed graph file (required)")
+		k           = flag.Int("k", 2, "per-attribute minimum count")
+		delta       = flag.Int("delta", 1, "maximum attribute-count difference")
+		bound       = flag.String("bound", "cd", "extra upper bound: ad, deg, h, cd, ch, cp")
+		noHeur      = flag.Bool("no-heur", false, "disable HeurRFC seeding")
+		noBounds    = flag.Bool("no-bounds", false, "disable upper-bound pruning (plain MaxRFC)")
+		noReduce    = flag.Bool("no-reduce", false, "skip the reduction pipeline")
+		heurOnly    = flag.Bool("heuristic", false, "run only the linear-time heuristic")
+		reduceOnly  = flag.Bool("reduce", false, "run only the reduction pipeline and report sizes")
+		enumerate   = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
+		maxNodes    = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
+		workers     = flag.Int("workers", 1, "parallel branching workers (a grid shares them through the session's work-stealing pool)")
+		staticSplit = flag.Bool("static-split", false, "grid scheduling baseline: slice -workers statically across concurrent cells instead of the shared work-stealing pool")
+		grid        = flag.String("grid", "", "answer a (k, delta) grid on one warm session, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
+		applySpec   = flag.String("apply", "", "apply a graph delta on a warm session and re-answer, e.g. '+e:0:5 -e:1:2 +v:a -v:7'")
+		repl        = flag.Bool("repl", false, "interactive session REPL on stdin (find/grid/apply/stats; see 'help')")
+		quiet       = flag.Bool("q", false, "print only the clique size")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -92,6 +93,7 @@ func main() {
 			DisableReduction: *noReduce,
 			MaxNodes:         *maxNodes,
 			Workers:          *workers,
+			StaticGridSplit:  *staticSplit,
 		}
 	}
 
@@ -331,6 +333,10 @@ func printSessionStats(s *fairclique.Session) {
 	st := s.Stats()
 	fmt.Printf("session: %d queries, %d nodes, %d reduction builds (%d chained), %d reuses, %d warm starts, %d dominance skips\n",
 		st.Queries, st.Nodes, st.ReductionBuilds, st.ReductionChained, st.ReductionReuses, st.WarmStarts, st.DominanceSkips)
+	if st.WorkerReleases > 0 {
+		fmt.Printf("scheduler: %d donations, %d steals (%d cross-cell), %d workers released to the shared pool\n",
+			st.Donations, st.Steals, st.CrossCellSteals, st.WorkerReleases)
+	}
 	if st.Applies > 0 {
 		fmt.Printf("dynamic: %d applies (epoch %d), %d comp preps reused, %d/%d snapshots verbatim, pool %d kept / %d dropped\n",
 			st.Applies, st.Epoch, st.CompPrepsReused, st.SnapshotsReused,

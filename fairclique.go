@@ -400,8 +400,18 @@ type SessionOptions struct {
 	// seed later queries.
 	MaxNodes int64
 	// Workers is the total branching parallelism: a single Find spends
-	// it inside the query, FindGrid spreads it across concurrent cells.
+	// it inside the query; FindGrid routes it through one shared
+	// work-stealing pool — one executor drives the cells in the
+	// dominance-chain order while the others steal donated search
+	// subtrees from whichever cell is branching, so every cell is
+	// searched by the whole budget and skipped cells strand no workers.
 	Workers int
+	// StaticGridSplit reverts FindGrid to statically slicing the
+	// Workers budget across concurrent cells (the pre-scheduler
+	// behavior, kept as the measured baseline of benchmark -exp sched
+	// and as an escape hatch). Finished cells' workers then idle
+	// instead of stealing.
+	StaticGridSplit bool
 	// MaxPreparedK bounds how many distinct k values keep their
 	// prepared state (reduction snapshot, component machinery) warm in
 	// a long-lived session; beyond the cap the least recently used k is
@@ -448,6 +458,13 @@ type SessionStats struct {
 	// PrepEvictions counts per-k prepared states evicted by the
 	// MaxPreparedK cap.
 	PrepEvictions int64
+	// Steals counts donated subtrees executed through FindGrid's shared
+	// work-stealing pool; CrossCellSteals is the subset executed by an
+	// executor that was not driving the donating cell — proof that a
+	// finished or skipped cell's worker fed another cell. WorkerReleases
+	// counts executors that ran out of cells and released themselves to
+	// steal for the cells still running.
+	Steals, CrossCellSteals, WorkerReleases int64
 }
 
 // Session prepares a graph — CSR, reduction snapshots per k, peel-rank
@@ -471,8 +488,12 @@ type SessionStats struct {
 // A Session is safe for concurrent use, including queries racing an
 // Apply: in-flight queries finish race-free on the graph generation
 // they started on, queries issued after Apply returns see the new
-// graph. FindGrid additionally runs its cells concurrently, each with
-// its own incumbent, on top of the engine's intra-query parallelism.
+// graph. FindGrid additionally parallelizes its cells through one
+// session-global work-stealing pool, each cell with its own incumbent:
+// the cells are driven in the dominance-chain order and every other
+// worker of the budget steals donated search subtrees from whichever
+// cell is branching — so dominance-skipped cells cost nothing and
+// strand no workers.
 type Session struct {
 	inner *session.Session
 }
@@ -486,14 +507,15 @@ func NewSession(g *Graph, opts ...SessionOptions) *Session {
 	}
 	return &Session{
 		inner: session.New(g.freeze(), session.Options{
-			UseBounds:     !o.DisableBounds,
-			Extra:         o.Bound,
-			UseHeuristic:  !o.DisableHeuristic,
-			SkipReduction: o.DisableReduction,
-			MaxNodes:      o.MaxNodes,
-			Workers:       o.Workers,
-			MaxPreparedK:  o.MaxPreparedK,
-			MaxPoolSeeds:  o.MaxPoolSeeds,
+			UseBounds:       !o.DisableBounds,
+			Extra:           o.Bound,
+			UseHeuristic:    !o.DisableHeuristic,
+			SkipReduction:   o.DisableReduction,
+			MaxNodes:        o.MaxNodes,
+			Workers:         o.Workers,
+			StaticGridSplit: o.StaticGridSplit,
+			MaxPreparedK:    o.MaxPreparedK,
+			MaxPoolSeeds:    o.MaxPoolSeeds,
 		}),
 	}
 }
@@ -667,6 +689,9 @@ func (s *Session) Stats() SessionStats {
 		PoolRetained:     st.PoolRetained,
 		PoolDropped:      st.PoolDropped,
 		PrepEvictions:    st.PrepEvictions,
+		Steals:           st.Steals,
+		CrossCellSteals:  st.CrossCellSteals,
+		WorkerReleases:   st.WorkerReleases,
 	}
 }
 

@@ -53,6 +53,10 @@ type CoreBenchResult struct {
 	// (`benchmark -exp delta`): single-edge Apply+requery on a warm
 	// session versus NewSession+requery on the mutated graph.
 	Delta *DeltaBenchResult `json:"delta,omitempty"`
+	// Sched, when present, is the session-global scheduler experiment
+	// (`benchmark -exp sched`): the grid answered serially, with the
+	// static Workers split, and on the shared work-stealing pool.
+	Sched *SchedBenchResult `json:"sched,omitempty"`
 }
 
 // coreBenchInstance builds the deterministic single-giant-component

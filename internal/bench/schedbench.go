@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/session"
+)
+
+// SchedBenchCell is one grid cell of the scheduler experiment with the
+// answer every scheduling mode must agree on.
+type SchedBenchCell struct {
+	K     int  `json:"k"`
+	Delta int  `json:"delta"`
+	Weak  bool `json:"weak,omitempty"`
+	Size  int  `json:"size"`
+}
+
+// SchedBenchResult records the session-global scheduler experiment
+// (`benchmark -exp sched`): the same (k, δ) grid answered by one
+// session under three scheduling modes — Workers=1 (serial), Workers=4
+// with the static per-cell split (the pre-scheduler baseline), and
+// Workers=4 on the shared work-stealing pool — with per-cell equality
+// across all three. Merged into BENCH_core.json under "sched" by
+// `make bench`; the bench-parallel CI job gates on SpeedupW4OverW1 on
+// a multi-core runner (committed records from 1-CPU containers are
+// ~1.0 by construction, which is exactly why the CI gate exists).
+type SchedBenchResult struct {
+	Graph      CoreBenchGraph   `json:"graph"`
+	GridSpec   string           `json:"grid_spec"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Workers    int              `json:"workers"`
+	Cells      []SchedBenchCell `json:"cells"`
+	// Grid wall-clock (best of 3, fresh session per repetition) per
+	// scheduling mode.
+	W1Seconds       float64 `json:"w1_seconds"`
+	StaticW4Seconds float64 `json:"static_w4_seconds"`
+	SharedW4Seconds float64 `json:"shared_w4_seconds"`
+	// SpeedupW4OverW1 is shared-pool W4 against the serial grid;
+	// SpeedupSharedOverStatic is shared-pool W4 against the static
+	// split at the same W4 — the scheduler's own contribution.
+	SpeedupW4OverW1         float64 `json:"speedup_w4_over_w1"`
+	SpeedupSharedOverStatic float64 `json:"speedup_shared_over_static"`
+	// AllMatch is true iff every cell agreed in size across all three
+	// modes — the record is only trustworthy when it is.
+	AllMatch bool `json:"all_match"`
+	// Scheduler counters of the best shared-pool run.
+	Donations       int64 `json:"donations"`
+	Steals          int64 `json:"steals"`
+	CrossCellSteals int64 `json:"cross_cell_steals"`
+	WorkerReleases  int64 `json:"worker_releases"`
+}
+
+// schedWorkers is the parallel configuration measured against W1 — the
+// same 4-worker point the core engine record uses.
+const schedWorkers = 4
+
+// SchedBench measures the grid scheduler on the bigcomp-giant
+// instance under the three scheduling modes.
+func SchedBench(cfg Config) (SchedBenchResult, error) {
+	g, desc := coreBenchInstance(cfg.scale())
+	spec, qs, err := gridBenchQueries(cfg.GridSpec)
+	if err != nil {
+		return SchedBenchResult{}, err
+	}
+	res := SchedBenchResult{
+		Graph:      desc,
+		GridSpec:   spec,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    schedWorkers,
+		AllMatch:   true,
+	}
+	base := session.Options{
+		UseBounds:    true,
+		Extra:        bounds.ColorfulDegeneracy,
+		UseHeuristic: true,
+		MaxNodes:     cfg.MaxNodes,
+	}
+
+	// A fresh session per repetition: a warm one would answer the
+	// repeated grid from memory and measure the scheduler of nothing.
+	measure := func(opt session.Options) (float64, []int, session.Stats, error) {
+		var best float64
+		var sizes []int
+		var stats session.Stats
+		for rep := 0; rep < 3; rep++ {
+			s := session.New(g, opt)
+			start := time.Now()
+			rs, err := s.FindGrid(qs)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return 0, nil, stats, err
+			}
+			if rep == 0 || elapsed < best {
+				best = elapsed
+				stats = s.Stats()
+			}
+			if sizes == nil {
+				sizes = make([]int, len(rs))
+				for i, r := range rs {
+					sizes[i] = r.Size()
+				}
+			} else {
+				for i, r := range rs {
+					if r.Size() != sizes[i] {
+						return 0, nil, stats, fmt.Errorf("sched bench: cell %d unstable across repetitions (%d vs %d)", i, r.Size(), sizes[i])
+					}
+				}
+			}
+		}
+		return best, sizes, stats, nil
+	}
+
+	w1 := base
+	w1.Workers = 1
+	var w1Sizes []int
+	if res.W1Seconds, w1Sizes, _, err = measure(w1); err != nil {
+		return res, err
+	}
+	for i, q := range qs {
+		res.Cells = append(res.Cells, SchedBenchCell{
+			K: int(q.K), Delta: int(q.Delta), Weak: q.Weak, Size: w1Sizes[i],
+		})
+	}
+
+	static := base
+	static.Workers = schedWorkers
+	static.StaticGridSplit = true
+	staticSecs, staticSizes, _, err := measure(static)
+	if err != nil {
+		return res, err
+	}
+	res.StaticW4Seconds = staticSecs
+
+	shared := base
+	shared.Workers = schedWorkers
+	sharedSecs, sharedSizes, sharedStats, err := measure(shared)
+	if err != nil {
+		return res, err
+	}
+	res.SharedW4Seconds = sharedSecs
+	res.Donations = sharedStats.Donations
+	res.Steals = sharedStats.Steals
+	res.CrossCellSteals = sharedStats.CrossCellSteals
+	res.WorkerReleases = sharedStats.WorkerReleases
+
+	for i := range qs {
+		if staticSizes[i] != w1Sizes[i] || sharedSizes[i] != w1Sizes[i] {
+			res.AllMatch = false
+		}
+	}
+	if res.SharedW4Seconds > 0 {
+		res.SpeedupW4OverW1 = res.W1Seconds / res.SharedW4Seconds
+		res.SpeedupSharedOverStatic = res.StaticW4Seconds / res.SharedW4Seconds
+	}
+	return res, nil
+}
+
+// WriteSchedBench runs SchedBench, writes its JSON record to w, embeds
+// it under "sched" in the core record at mergePath when given, and —
+// when minSpeedup > 0 — fails unless the measured shared-pool W4/W1
+// speedup strictly exceeds it. The bench-parallel CI job runs this
+// with -min-speedup 1.0 on a multi-core runner: the repo's first
+// CI-verified parallel number (committed BENCH records are
+// GOMAXPROCS=1 by construction).
+func WriteSchedBench(cfg Config, w io.Writer, mergePath string, minSpeedup float64) error {
+	res, err := SchedBench(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if !res.AllMatch {
+		return fmt.Errorf("sched bench: scheduling modes disagree on cell answers; record not trustworthy")
+	}
+	if mergePath != "" {
+		rec, err := LoadCoreBench(mergePath)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", mergePath, err)
+		}
+		rec.Sched = &res
+		if err := writeCoreRecord(mergePath, rec); err != nil {
+			return err
+		}
+	}
+	if minSpeedup > 0 {
+		if res.GOMAXPROCS < 2 {
+			return fmt.Errorf("sched bench: -min-speedup needs a multi-core run, but GOMAXPROCS=%d", res.GOMAXPROCS)
+		}
+		if res.SpeedupW4OverW1 <= minSpeedup {
+			return fmt.Errorf("sched bench: shared-pool W%d/W1 speedup %.2fx is not above the %.2fx gate (W1 %.3fs, shared W%d %.3fs)",
+				schedWorkers, res.SpeedupW4OverW1, minSpeedup, res.W1Seconds, schedWorkers, res.SharedW4Seconds)
+		}
+		// Status goes to stderr: w may be the JSON record file, which
+		// must stay machine-parseable for the CI artifact.
+		fmt.Fprintf(os.Stderr, "sched bench: shared-pool W%d/W1 speedup %.2fx clears the %.2fx gate\n",
+			schedWorkers, res.SpeedupW4OverW1, minSpeedup)
+	}
+	return nil
+}

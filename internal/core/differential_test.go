@@ -2,13 +2,13 @@ package core
 
 import (
 	"runtime"
-	"sync/atomic"
 	"testing"
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/gen"
 	"fairclique/internal/graph"
 	"fairclique/internal/rng"
+	"fairclique/internal/sched"
 )
 
 // runWithSliceOracle runs MaxRFC with the legacy binary-search slice
@@ -253,12 +253,15 @@ func TestRootSplitCollectsTasks(t *testing.T) {
 	}
 }
 
-// Deterministic donation: a thief worker is parked in acquire before
-// the driver branches, so the driver's first expansion is guaranteed
-// to see a hungry peer and ship a subtree. This pins the donate /
-// acquire / runStolen handshake independent of scheduler timing, and
-// doubles as the steal-path race test under -race (two workers, shared
-// incumbent, donated buffers crossing goroutines).
+// Deterministic donation: a released executor is parked in Serve
+// before the driver branches, so the driver's first expansion is
+// guaranteed to see a hungry peer and ship a subtree through the
+// shared pool. This pins the donate / Serve / runStolen handshake
+// independent of scheduler timing — it is the same handoff a
+// dominance-skipped grid cell's freed executor performs against a
+// still-running cell — and doubles as the steal-path race test under
+// -race (two goroutines, shared incumbent, donated buffers crossing
+// between them).
 func TestDonationFeedsHungryWorker(t *testing.T) {
 	g := starvedGraph(1, 60)
 	opt := Options{K: 1, Delta: 56, BoundDepth: 1}
@@ -267,64 +270,45 @@ func TestDonationFeedsHungryWorker(t *testing.T) {
 		t.Fatalf("fixture has %d components, want 1", got)
 	}
 	d := s.newCompData(s.p.comps[0])
-	d.steal = newStealState(2)
+	pool := sched.NewPool()
+	scope := pool.NewScope()
+	d.steal = scope
 
-	driver := newWorker(d)
-	driver.collect = make([]int32, 0, d.n)
-	driver.branchRoot()
-	tasks := driver.collect
-	driver.collect = nil
-	if len(tasks) == 0 {
-		t.Fatal("no root branches to split")
-	}
-
-	var stolenNodes atomic.Int64
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		thief := newWorker(d)
-		for {
-			task := d.steal.acquire(s)
-			if task == nil {
-				break
-			}
-			thief.runStolen(task)
-			d.steal.release(task)
-			stolenNodes.Add(1)
-		}
-		thief.flushNodes()
+		pool.Serve()
 	}()
+	// Park the thief in Serve before branching anything: the driver's
+	// first donation check is then guaranteed to see it.
+	for !pool.Hungry() {
+		runtime.Gosched()
+	}
 
-	// Park the thief in acquire before branching anything.
-	for d.steal.hungry.Load() == 0 {
-		runtime.Gosched()
-	}
-	for _, u := range tasks {
-		driver.runRootBranch(u)
-	}
-	// Let the thief drain every donated task before the driver enters
-	// its own acquire loop, so the cross-goroutine handoff is what gets
-	// tested (otherwise the driver would just reclaim its donations).
-	for {
-		d.steal.mu.Lock()
-		pending := len(d.steal.tasks)
-		d.steal.mu.Unlock()
-		if pending == 0 {
-			break
-		}
-		runtime.Gosched()
-	}
-	if task := d.steal.acquire(s); task != nil {
-		t.Fatal("queue should be empty once the thief drained it")
-	}
+	scope.Enter()
+	driver := newWorker(d)
+	driver.branchRoot()
 	driver.flushNodes()
+	// Let the thief drain every queued task before the driver enters
+	// Drain, so the cross-goroutine handoff is what gets tested
+	// (otherwise the driver could just reclaim its own donations).
+	for pool.Pending() > 0 {
+		runtime.Gosched()
+	}
+	scope.Exit()
+	scope.Drain()
+	pool.Close()
 	<-done
 
 	if s.donations.Load() == 0 {
 		t.Fatal("driver never donated despite a parked hungry thief")
 	}
-	if stolenNodes.Load() == 0 {
+	st := pool.Stats()
+	if st.CrossCellSteals == 0 {
 		t.Fatal("thief never ran a stolen subtree")
+	}
+	if st.Releases != 1 {
+		t.Fatalf("pool counted %d releases, want 1 (the parked Serve)", st.Releases)
 	}
 	serial := searchSingleComponent(t, g, Options{K: 1, Delta: 56}, 1)
 	if len(s.best) != len(serial.best) {

@@ -7,6 +7,7 @@ import (
 	"fairclique/internal/enum"
 	"fairclique/internal/gen"
 	"fairclique/internal/graph"
+	"fairclique/internal/sched"
 )
 
 // newWarmEngine builds a searcher plus a warmed worker over the single
@@ -65,9 +66,10 @@ func TestBranchSteadyStateZeroAllocs(t *testing.T) {
 				t.Fatalf("multichunk fixture spans %d words; want > %d", w.d.words, graph.ChunkWords)
 			}
 			if tc.steal {
-				// The Workers > 1 configuration: steal state present, no
-				// waiter. Every branch pays exactly one atomic load.
-				w.d.steal = newStealState(tc.opt.Workers)
+				// The Workers > 1 configuration: donation scope armed, no
+				// hungry executor. Every branch pays exactly one atomic
+				// load.
+				w.d.steal = sched.NewPool().NewScope()
 			}
 			avg := testing.AllocsPerRun(20, func() {
 				w.branchRoot()

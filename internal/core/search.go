@@ -70,6 +70,7 @@ import (
 	"fairclique/internal/graph"
 	"fairclique/internal/heuristic"
 	"fairclique/internal/reduce"
+	"fairclique/internal/sched"
 )
 
 // Options configures a MaxRFC run. The zero value of the feature flags
@@ -117,6 +118,17 @@ type Options struct {
 	// value below the true optimum makes the result inexact, so callers
 	// must only pass proven bounds.
 	StopAtSize int
+	// Pool, when non-nil, hands the search's parallelism to a shared
+	// work-stealing scheduler instead of the private per-component
+	// split: the search branches every component serially on the
+	// calling goroutine and donates frontier subtrees to the pool
+	// whenever any of its executors is hungry — including executors
+	// released by other searches running on the same pool (the session
+	// layer's concurrent grid cells). Workers is ignored in pool mode;
+	// effective parallelism is however many pool executors pick the
+	// donations up. The search still returns only after every donated
+	// subtree has finished, wherever it ran.
+	Pool *sched.Pool
 }
 
 // Stats reports search effort, for the experiment harness.
@@ -357,45 +369,67 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 
 	// Lines 6-11: branch each connected component under CalColorOD.
 	// Components are searched largest-first so good incumbents surface
-	// early. Two-level parallelism: large components get their root
-	// branches split across all Workers (so a single giant component
-	// still scales); the tail of small components — where per-component
-	// setup would dwarf an intra-split — is distributed across Workers
-	// one component per goroutine.
-	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	idx := 0
-	for ; idx < len(p.comps); idx++ {
-		if workers > 1 && len(p.comps[idx]) <= smallComponentLimit {
-			break // the rest (sorted descending) go to the pool below
-		}
-		if s.halted() {
-			break
-		}
-		s.searchComponent(idx, workers)
-	}
-	if workers > 1 && idx < len(p.comps) && !s.halted() {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ci := range jobs {
-					s.searchComponent(ci, 1)
-				}
-			}()
-		}
-		for ci := idx; ci < len(p.comps); ci++ {
+	// early.
+	//
+	// Pool mode (opt.Pool non-nil): the calling goroutine is the only
+	// driver — it branches every component serially with the donation
+	// hook armed, so hungry pool executors (idle drivers of other
+	// searches, released grid-cell workers) are fed frontier subtrees
+	// from any depth. Drain is the cross-search termination barrier:
+	// the search returns only once its ledger proves every donated
+	// subtree finished, whichever search's executor ran it.
+	if opt.Pool != nil {
+		scope := opt.Pool.NewScope()
+		scope.Enter()
+		for ci := range p.comps {
 			if s.halted() {
 				break
 			}
-			jobs <- ci
+			s.searchComponentPooled(ci, scope)
 		}
-		close(jobs)
-		wg.Wait()
+		scope.Exit()
+		scope.Drain()
+	} else {
+		// Private two-level parallelism: large components get their root
+		// branches split across all Workers (so a single giant component
+		// still scales); the tail of small components — where
+		// per-component setup would dwarf an intra-split — is distributed
+		// across Workers one component per goroutine.
+		workers := opt.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		idx := 0
+		for ; idx < len(p.comps); idx++ {
+			if workers > 1 && len(p.comps[idx]) <= smallComponentLimit {
+				break // the rest (sorted descending) go to the pool below
+			}
+			if s.halted() {
+				break
+			}
+			s.searchComponent(idx, workers)
+		}
+		if workers > 1 && idx < len(p.comps) && !s.halted() {
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for ci := range jobs {
+						s.searchComponent(ci, 1)
+					}
+				}()
+			}
+			for ci := idx; ci < len(p.comps); ci++ {
+				if s.halted() {
+					break
+				}
+				jobs <- ci
+			}
+			close(jobs)
+			wg.Wait()
+		}
 	}
 
 	res.Stats.Nodes = s.nodes.Load()
@@ -500,6 +534,9 @@ type compPrep struct {
 
 	wmu  sync.Mutex
 	free []*worker // recycled workers, arenas sized for this component
+
+	tmu   sync.Mutex
+	tfree []*subtreeTask // recycled donation buffers, rows sized for this component
 }
 
 // getWorker pops a recycled worker (rebinding it to this search's view)
@@ -535,13 +572,42 @@ func (c *compPrep) putWorker(w *worker) {
 	c.wmu.Unlock()
 }
 
+// getTask pops a recycled donation buffer or builds a fresh one. The
+// freelist lives on the compPrep — task rows are sized for this
+// component — so steady-state donation allocates nothing, across
+// searches and across the grid cells of a session.
+func (c *compPrep) getTask() *subtreeTask {
+	c.tmu.Lock()
+	var t *subtreeTask
+	if n := len(c.tfree); n > 0 {
+		t = c.tfree[n-1]
+		c.tfree = c.tfree[:n-1]
+	}
+	c.tmu.Unlock()
+	if t == nil {
+		t = &subtreeTask{cand: c.succ.NewRow()}
+	}
+	return t
+}
+
+// putTask recycles a donation buffer after its subtree ran. The
+// per-search references are dropped so a parked task does not retain a
+// finished search's state.
+func (c *compPrep) putTask(t *subtreeTask) {
+	t.d = nil
+	t.scope = nil
+	c.tmu.Lock()
+	c.tfree = append(c.tfree, t)
+	c.tmu.Unlock()
+}
+
 // compData is one search's view of a prepared component: the shared
 // immutable compPrep plus the searcher (incumbent, counters) and the
-// donation state of this particular query.
+// donation scope of this particular query.
 type compData struct {
 	*compPrep
 	s     *searcher
-	steal *stealState // subtree work donation; nil when searched serially
+	steal *sched.Scope // subtree work donation; nil when searched serially
 }
 
 // newCompData builds a fresh per-search component view over a freshly
@@ -685,103 +751,81 @@ func (w *worker) flushNodes() {
 	}
 }
 
-// stealState coordinates subtree-level work donation inside one
-// root-split component. Busy workers poll the hungry counter (a single
-// atomic load per branch) and, when a waiter exists, ship the frontier
-// node they were about to branch into — R prefix, counts and a copy of
-// the candidate row — onto a LIFO queue instead of recursing. Task
-// buffers are recycled through a free list, so steady-state donation
-// does not allocate either.
-type stealState struct {
-	hungry atomic.Int32 // workers currently waiting for donated work
-
-	mu    sync.Mutex
-	cond  *sync.Cond
-	tasks []*subtreeTask // LIFO: most recently donated first
-	free  []*subtreeTask // recycled task buffers
-	busy  int            // workers currently branching (for termination)
-}
-
 // subtreeTask is one donated branch node: the complete state branchBits
-// needs to resume the subtree on another worker.
+// needs to resume the subtree on any executor — the per-search
+// component view (which names the searcher whose incumbent the subtree
+// feeds), the sched scope for the termination ledger, and the frontier
+// node itself (R prefix, counts, candidate row). It implements
+// sched.Task, so the same buffer flows through a component-private
+// pool (the classic Workers split) and the session-global pool
+// (cross-cell stealing) alike. Buffers are recycled through the
+// compPrep freelist, so steady-state donation does not allocate.
 type subtreeTask struct {
+	d     *compData
+	scope *sched.Scope
+
 	depth      int
 	r          []int32 // R of the node (length depth)
 	cnt, avail [2]int32
 	cand       graph.LiveRow
 }
 
-func newStealState(workers int) *stealState {
-	st := &stealState{busy: workers}
-	st.cond = sync.NewCond(&st.mu)
-	return st
+// TaskScope reports the search the subtree belongs to (sched.Task).
+func (t *subtreeTask) TaskScope() *sched.Scope { return t.scope }
+
+// Run resumes the donated subtree on the calling executor (sched.Task):
+// it binds a worker from the component's freelist — the executor may
+// belong to a different search of a different (k, δ, mode), so it
+// cannot carry pre-bound arenas for this component — runs the subtree
+// to completion against the donating search's incumbent, and recycles
+// both the worker and the task buffer.
+func (t *subtreeTask) Run() {
+	d := t.d
+	w := d.getWorker(d)
+	w.runStolen(t)
+	w.flushNodes()
+	d.putWorker(w)
+	d.putTask(t)
 }
 
-// donate publishes the child node the caller was about to branch into.
-// It reports false when no worker is actually waiting (the caller then
-// recurses as usual).
-func (st *stealState) donate(w *worker, depth int, cnt, avail [2]int32, cand graph.LiveRow) bool {
-	// Pop a recycled buffer under the lock, but do the O(row) copies
-	// outside it so concurrent donors and acquirers are not serialized
-	// behind a memcpy. Two donors racing past the demand check can
-	// over-donate by at most workers-1 tasks; acquire drains any
-	// surplus before declaring termination, so nothing is lost.
-	st.mu.Lock()
-	if int32(len(st.tasks)) >= st.hungry.Load() {
-		st.mu.Unlock()
+// donate publishes the child node the caller was about to branch into
+// onto the scope's pool. It reports false when no executor is actually
+// waiting (the caller then recurses as usual). The demand re-check and
+// the queue push are separate critical sections; racing donors can
+// over-donate by at most executors-1 tasks, which Drain retires.
+func (w *worker) donate(scope *sched.Scope, depth int, cnt, avail [2]int32, cand graph.LiveRow) bool {
+	if !scope.Wanted() {
 		return false
 	}
-	var t *subtreeTask
-	if n := len(st.free); n > 0 {
-		t = st.free[n-1]
-		st.free = st.free[:n-1]
-	}
-	st.mu.Unlock()
-	if t == nil {
-		t = &subtreeTask{cand: w.d.succ.NewRow()}
-	}
+	d := w.d
+	// The O(row) copies happen outside both locks so concurrent donors
+	// and thieves are not serialized behind a memcpy.
+	t := d.getTask()
+	t.d, t.scope = d, scope
 	t.depth = depth
 	t.r = append(t.r[:0], w.rbuf[:depth]...)
 	t.cnt, t.avail = cnt, avail
 	cand.CopyInto(t.cand)
-	st.mu.Lock()
-	st.tasks = append(st.tasks, t)
-	st.cond.Signal()
-	st.mu.Unlock()
-	w.d.s.donations.Add(1)
+	scope.Submit(t)
+	d.s.donations.Add(1)
 	return true
 }
 
-// acquire blocks until a donated subtree is available, returning nil
-// when the component is finished (every worker idle and the queue
-// empty) or the search aborted. Every worker exit path runs through
-// acquire so the busy count stays consistent.
-func (st *stealState) acquire(s *searcher) *subtreeTask {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.busy--
-	for {
-		if n := len(st.tasks); n > 0 && !s.halted() {
-			t := st.tasks[n-1]
-			st.tasks = st.tasks[:n-1]
-			st.busy++
-			return t
-		}
-		if st.busy == 0 || s.halted() {
-			st.cond.Broadcast()
-			return nil
-		}
-		st.hungry.Add(1)
-		st.cond.Wait()
-		st.hungry.Add(-1)
+// searchComponentPooled branches component ci serially on the calling
+// goroutine with the shared-pool donation hook armed: whenever another
+// executor of scope's pool is hungry, the next frontier subtree is
+// shipped to it instead of being recursed into locally.
+func (s *searcher) searchComponentPooled(ci int, scope *sched.Scope) {
+	comp := s.p.comps[ci]
+	if s.halted() || int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+		return
 	}
-}
-
-// release recycles a finished task's buffers.
-func (st *stealState) release(t *subtreeTask) {
-	st.mu.Lock()
-	st.free = append(st.free, t)
-	st.mu.Unlock()
+	prep := s.p.comp(ci)
+	d := &compData{compPrep: prep, s: s, steal: scope}
+	w := prep.getWorker(d)
+	w.branchRoot()
+	w.flushNodes()
+	prep.putWorker(w)
 }
 
 // searchComponent branches the connected component at index ci of the
@@ -825,12 +869,17 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	}
 	// Parallel: workers pull root branches from a shared cursor; once
 	// the cursor runs dry they are re-fed by subtree donation until the
-	// whole tree is exhausted. The branch prologue re-checks the
-	// incumbent, so branches queued behind a growing incumbent are
-	// pruned when claimed. Workers beyond the root-branch count are
-	// still useful — they start hungry and immediately receive donated
-	// subtrees.
-	d.steal = newStealState(workers)
+	// whole tree is exhausted — the same sched machinery the session
+	// pool uses, here on a pool private to this component. The branch
+	// prologue re-checks the incumbent, so branches queued behind a
+	// growing incumbent are pruned when claimed. Workers beyond the
+	// root-branch count are still useful — they start hungry in Drain
+	// and immediately receive donated subtrees. Every worker Enters
+	// before its goroutine starts, so the scope's ledger can never
+	// momentarily read zero while peers are still spinning up.
+	pool := sched.NewPool()
+	scope := pool.NewScope()
+	d.steal = scope
 	var next atomic.Int32
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -839,12 +888,9 @@ func (s *searcher) searchComponent(ci int, workers int) {
 		if i > 0 {
 			wk = prep.getWorker(d)
 		}
+		scope.Enter()
 		go func(wk *worker) {
 			defer wg.Done()
-			defer func() {
-				wk.flushNodes()
-				prep.putWorker(wk)
-			}()
 			for {
 				// The Load guard keeps the cursor bounded (at most one
 				// overshoot per worker): without it, every donation
@@ -856,13 +902,16 @@ func (s *searcher) searchComponent(ci int, workers int) {
 						continue
 					}
 				}
-				task := d.steal.acquire(s)
-				if task == nil {
-					return
-				}
-				wk.runStolen(task)
-				d.steal.release(task)
+				break
 			}
+			wk.flushNodes()
+			prep.putWorker(wk)
+			// Root cursor dry: this worker stops branching and lives off
+			// donated subtrees (running them through the same freelist it
+			// just returned its arenas to) until the component's ledger
+			// is empty.
+			scope.Exit()
+			scope.Drain()
 		}(wk)
 	}
 	wg.Wait()
@@ -1084,9 +1133,9 @@ func (w *worker) expandBits(depth int, attr graph.Attr, declare bool, cnt [2]int
 		}
 		avail := w.makeChildBits(dst, src, u, declare)
 		w.rbuf[depth] = u
-		if st != nil && avail[0]+avail[1] > 0 && st.hungry.Load() > 0 &&
-			st.donate(w, depth+1, ncnt, avail, dst) {
-			return true // the subtree went to an idle worker
+		if st != nil && avail[0]+avail[1] > 0 && st.Hungry() &&
+			w.donate(st, depth+1, ncnt, avail, dst) {
+			return true // the subtree went to an idle executor
 		}
 		w.branchBits(depth+1, ncnt, avail)
 		return true

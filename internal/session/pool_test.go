@@ -1,0 +1,215 @@
+package session
+
+import (
+	"runtime"
+	"testing"
+
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+	"fairclique/internal/sched"
+)
+
+// starvedSession builds a single dense component whose search tree is
+// deep and skewed — enough branching that a grid cell on it keeps a
+// driver busy across several scheduler preemption slices, so released
+// executors reliably get to park and steal.
+func starvedSession(seed uint64, n int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		attr := graph.AttrB
+		if v < n/8 {
+			attr = graph.AttrA
+		}
+		b.SetAttr(int32(v), attr)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(0.5) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// The worker-release handshake: a grid whose cells are all answered by
+// dominance skips (a repeat of an already-solved grid) still releases
+// the full thief complement into the shared pool — the deterministic
+// half of the cross-cell story. No cell branches, so no steals can
+// occur either.
+func TestGridSharedPoolReleasesSkippedCellWorkers(t *testing.T) {
+	g := random(7, 40, 0.35)
+	s := New(g, Options{Workers: 4})
+	qs := []Query{{K: 1, Delta: 2}, {K: 1, Delta: 1}, {K: 2, Delta: 2}, {K: 2, Delta: 1}}
+	if _, err := s.FindGrid(qs); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if _, err := s.FindGrid(qs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if got := st.DominanceSkips - before.DominanceSkips; got != int64(len(qs)) {
+		t.Fatalf("repeat grid skipped %d of %d cells", got, len(qs))
+	}
+	// Workers-1 executors serve the pool for the grid's whole duration —
+	// exactly once each per FindGrid, scheduler timing notwithstanding.
+	if got := st.WorkerReleases - before.WorkerReleases; got != 3 {
+		t.Fatalf("repeat grid released %d executors, want 3", got)
+	}
+	if got := st.Steals - before.Steals; got != 0 {
+		t.Fatalf("zero-branching grid recorded %d steals", got)
+	}
+}
+
+// The deterministic release/steal handshake at the session layer: a
+// released executor — exactly what a dominance-skipped cell's worker
+// becomes — is parked in the shared pool's Serve BEFORE the hard
+// cell's search starts, so the cell's very first donation check is
+// guaranteed to see a hungry peer. The skipped cell's worker must then
+// appear as donations in the hard cell's own Stats.Donations and as
+// executed steals in the pool, and the cell must stay exact. This is
+// the session counterpart of core's TestDonationFeedsHungryWorker and
+// runs under -race via make test-race.
+func TestSharedPoolStealHandshakeFromReleasedWorker(t *testing.T) {
+	g := starvedSession(3, 72)
+	q := Query{K: 1, Delta: 60}
+	want := independent(t, g, q, Options{})
+
+	s := New(g, Options{})
+	pool := sched.NewPool()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pool.Serve() // the released worker of the "skipped cell"
+	}()
+	for !pool.Hungry() {
+		runtime.Gosched()
+	}
+
+	res, err := s.find(q, 1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	<-done
+
+	if res.Size() != want.Size() {
+		t.Fatalf("shared-pool cell %d, independent %d", res.Size(), want.Size())
+	}
+	if res.Size() > 0 && !g.IsFairClique(res.Clique, 1, 60) {
+		t.Fatal("invalid clique from shared-pool cell")
+	}
+	// The hard cell saw the parked executor and donated; every donation
+	// was executed by some pool executor before the cell returned.
+	if res.Stats.Donations == 0 {
+		t.Fatal("hard cell never donated despite a parked released worker")
+	}
+	ps := pool.Stats()
+	if ps.Steals == 0 {
+		t.Fatal("donated subtrees were never executed as steals")
+	}
+	if ps.Releases != 1 {
+		t.Fatalf("pool counted %d releases, want 1", ps.Releases)
+	}
+}
+
+// Cross-cell stealing end to end through FindGrid: a two-cell grid
+// whose schedule puts a ~160k-node cell first and a near-instant
+// strong cell second, with Workers beyond what either needs — the
+// three thief executors can only contribute by stealing the hard
+// cell's donated subtrees, and they persist across the cell boundary.
+// Exactness, the release count and donation flow through the pool
+// (steals == donations, work conservation) are asserted on every
+// attempt. Whether a donation is
+// executed by a *different* executor is a scheduling question: on one
+// CPU the driver may legitimately reclaim its own donations in Drain
+// before a runnable thief ever gets the processor, so the cross-cell
+// counter is only enforced where it is meaningful — GOMAXPROCS > 1
+// (the CI race job's multi-core runner) — with a few fresh attempts
+// allowed.
+func TestGridSharedPoolCrossCellSteals(t *testing.T) {
+	g := starvedSession(5, 150)
+	hard := Query{K: 1, Delta: 150} // scheduled first: δ-descending
+	cheap := Query{K: 1, Delta: 0}
+	wantHard := independent(t, g, hard, Options{})
+	wantCheap := independent(t, g, cheap, Options{})
+	var fed, crossed bool
+	needCross := runtime.GOMAXPROCS(0) > 1
+	for attempt := 0; attempt < 5 && !(fed && (!needCross || crossed)); attempt++ {
+		s := New(g, Options{Workers: 4})
+		rs, err := s.FindGrid([]Query{hard, cheap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[0].Size() != wantHard.Size() || rs[1].Size() != wantCheap.Size() {
+			t.Fatalf("attempt %d: shared-pool grid (%d, %d), independent (%d, %d)",
+				attempt, rs[0].Size(), rs[1].Size(), wantHard.Size(), wantCheap.Size())
+		}
+		if rs[0].Size() > 0 && !g.IsFairClique(rs[0].Clique, int(hard.K), int(hard.Delta)) {
+			t.Fatalf("attempt %d: invalid clique from shared pool", attempt)
+		}
+		st := s.Stats()
+		if st.WorkerReleases != 3 {
+			t.Fatalf("attempt %d: %d releases, want 3 (Workers-1 thieves Serve once each)",
+				attempt, st.WorkerReleases)
+		}
+		if st.Steals != st.Donations {
+			t.Fatalf("attempt %d: %d donations but %d steals; the pool lost or invented work",
+				attempt, st.Donations, st.Steals)
+		}
+		if st.Steals < st.CrossCellSteals {
+			t.Fatalf("attempt %d: steals %d < cross-cell steals %d",
+				attempt, st.Steals, st.CrossCellSteals)
+		}
+		if st.Donations > 0 {
+			fed = true
+		}
+		if st.CrossCellSteals > 0 {
+			crossed = true
+		}
+	}
+	if !fed {
+		t.Fatal("the hard cell never donated to the released executors in 5 attempts")
+	}
+	if needCross && !crossed {
+		t.Fatal("multi-core run: released executors never executed another cell's subtree")
+	}
+}
+
+// The StaticGridSplit escape hatch (the measured baseline of
+// benchmark -exp sched) must answer every cell exactly like the shared
+// pool and like independent queries, and must not touch the pool
+// counters.
+func TestGridStaticSplitMatchesSharedPool(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := random(seed, 36, 0.4)
+		var qs []Query
+		for k := int32(1); k <= 3; k++ {
+			for d := int32(0); d <= 2; d++ {
+				qs = append(qs, Query{K: k, Delta: d})
+			}
+		}
+		static := New(g, Options{Workers: 4, StaticGridSplit: true})
+		shared := New(g, Options{Workers: 4})
+		rsStatic, err := static.FindGrid(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsShared, err := shared.FindGrid(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			want := independent(t, g, q, Options{})
+			if rsStatic[i].Size() != want.Size() || rsShared[i].Size() != want.Size() {
+				t.Fatalf("seed=%d (k=%d, δ=%d): static %d, shared %d, independent %d",
+					seed, q.K, q.Delta, rsStatic[i].Size(), rsShared[i].Size(), want.Size())
+			}
+		}
+		if st := static.Stats(); st.Steals != 0 || st.WorkerReleases != 0 {
+			t.Fatalf("seed=%d: static split touched the pool counters: %+v", seed, st)
+		}
+	}
+}

@@ -59,9 +59,17 @@
 //
 // Grid queries (FindGrid) are scheduled k-ascending, δ-descending —
 // the order that maximizes both chains: weak cells solve first and
-// bound/seed the strict ones — and run concurrently on a cell pool,
-// each cell with its own incumbent, on top of the engine's existing
-// intra-query root-split + donation parallelism.
+// bound/seed the strict ones — and parallelized through one
+// session-global work-stealing pool (internal/sched): one executor
+// drives the cells in chain order (cell-level concurrency is a
+// measured net loss — a stricter cell started before the looser cell
+// that bounds it branches a full tree instead of dominance-skipping),
+// while every other worker of the budget serves the pool and steals
+// donated frontier subtrees from whichever cell is currently
+// branching, persisting across cell boundaries and across
+// heterogeneous (k, δ, mode) searches. A dominance-skipped cell costs
+// nothing and strands nobody. Each cell keeps its own incumbent; only
+// work moves between cells, never answers.
 //
 // Long-lived sessions bound their footprint with Options.MaxPreparedK
 // (LRU eviction of per-k prepared state + reduction snapshot) and
@@ -78,6 +86,7 @@ import (
 	"fairclique/internal/core"
 	"fairclique/internal/graph"
 	"fairclique/internal/reduce"
+	"fairclique/internal/sched"
 )
 
 // Options is the per-session configuration shared by every query. The
@@ -99,9 +108,19 @@ type Options struct {
 	MaxNodes int64
 	// Workers is the total branching parallelism. A single Find uses
 	// all of it inside the query (root split + donation); FindGrid
-	// spreads it across concurrent cells first and gives each cell the
-	// remainder.
+	// turns it into executors of one shared work-stealing pool
+	// (internal/sched): one executor drives the cells in chain order
+	// and the other Workers-1 steal donated subtrees from whichever
+	// cell is branching, across cell boundaries — so a dominance-skipped
+	// cell costs nothing and no worker is ever stranded behind a cheap
+	// cell.
 	Workers int
+	// StaticGridSplit reverts FindGrid to the pre-scheduler behavior:
+	// the Workers budget is sliced statically across min(Workers,
+	// cells) concurrent cells and finished cells' workers idle instead
+	// of stealing. It exists as the measured baseline for the shared
+	// pool (benchmark -exp sched) and as an escape hatch.
+	StaticGridSplit bool
 	// MaxPreparedK bounds the number of distinct k values whose
 	// prepared state (reduction snapshot + component machinery) is kept
 	// warm; the least recently used is evicted beyond the cap and
@@ -158,6 +177,12 @@ type Stats struct {
 	// PrepEvictions counts per-k prepared states evicted by the
 	// MaxPreparedK LRU cap.
 	PrepEvictions int64
+	// Steals counts donated subtrees executed through FindGrid's shared
+	// work-stealing pool; CrossCellSteals is the subset executed by an
+	// executor that was not driving the donating cell — the cross-cell
+	// payoff. WorkerReleases counts executors that ran out of cells and
+	// released themselves to steal for the cells still running.
+	Steals, CrossCellSteals, WorkerReleases int64
 }
 
 // poolClique is one discovered fair clique, kept as warm-start
@@ -245,16 +270,20 @@ func (s *Session) Find(q Query) (*core.Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	return s.find(q, workers)
+	return s.find(q, workers, nil)
 }
 
 // FindGrid answers a batch of cells and returns results aligned with
 // qs. Cells are scheduled k-ascending then δ-descending so each solved
-// cell bounds and seeds the stricter ones, and run concurrently —
-// min(Workers, cells) cells in flight, the Workers budget split
-// between them. Every cell gets its own incumbent; the shared
-// monotonicity table and clique pool are read at cell start, so
-// concurrent cells reuse whatever has finished by then.
+// cell bounds and seeds the stricter ones; the schedule is driven in
+// that order by one executor while the remaining Workers-1 executors
+// steal donated subtrees from whichever cell is branching through the
+// shared pool — every cell is searched by the whole budget, the
+// dominance chain stays intact, and a skipped cell strands no workers
+// (Options.StaticGridSplit restores the old static Workers/cells
+// slicing across concurrent cells). Every cell gets its own incumbent;
+// the shared monotonicity table and clique pool are read at cell
+// start.
 func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 	for _, q := range qs {
 		if err := validate(q); err != nil {
@@ -291,11 +320,17 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 
 	results := make([]*core.Result, len(qs))
 	errs := make([]error, len(qs))
-	if cells <= 1 {
+	switch {
+	case cells <= 1:
 		for _, i := range order {
-			results[i], errs[i] = s.find(qs[i], workers)
+			results[i], errs[i] = s.find(qs[i], workers, nil)
 		}
-	} else {
+	case s.opt.StaticGridSplit:
+		// Baseline scheduler: the Workers budget is sliced across the
+		// concurrent cells up front. A cell that finishes early strands
+		// its share until the next cell is dequeued — the stranding the
+		// shared pool below exists to eliminate; kept as the measured
+		// A/B reference and escape hatch.
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for c := 0; c < cells; c++ {
@@ -310,7 +345,7 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 			go func(perCell int) {
 				defer wg.Done()
 				for i := range jobs {
-					results[i], errs[i] = s.find(qs[i], perCell)
+					results[i], errs[i] = s.find(qs[i], perCell, nil)
 				}
 			}(perCell)
 		}
@@ -319,6 +354,44 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 		}
 		close(jobs)
 		wg.Wait()
+	default:
+		// Session-global work stealing. Cells are driven strictly in
+		// chain order (k-ascending, δ-descending) — measurements on the
+		// bigcomp-giant grid showed that running cells concurrently
+		// costs 2.4x the branch nodes, because a stricter cell that
+		// starts before the looser cell that would bound and seed it
+		// branches a full tree instead of dominance-skipping; the chain
+		// is worth far more than cell-level concurrency. All remaining
+		// parallelism becomes work stealing instead: the other
+		// Workers-1 executors serve the shared pool from the start, so
+		// whichever cell is currently branching is fed to the whole
+		// budget by subtree donation, a dominance-skipped cell costs
+		// nothing and strands nobody, and the thieves persist across
+		// cell boundaries — the executor that just drained one cell's
+		// subtrees immediately steals from the next cell's, whatever
+		// its (k, δ, mode). The driver closes the pool after the last
+		// cell's ledger has drained, so Serve never abandons queued
+		// work.
+		pool := sched.NewPool()
+		var wg sync.WaitGroup
+		for c := 1; c < workers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pool.Serve()
+			}()
+		}
+		for _, i := range order {
+			results[i], errs[i] = s.find(qs[i], 1, pool)
+		}
+		pool.Close()
+		wg.Wait()
+		ps := pool.Stats()
+		s.mu.Lock()
+		s.stats.Steals += ps.Steals
+		s.stats.CrossCellSteals += ps.CrossCellSteals
+		s.stats.WorkerReleases += ps.Releases
+		s.mu.Unlock()
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -353,7 +426,10 @@ func (s *Session) Stats() Stats {
 // result registration. The epoch is loaded exactly once; everything —
 // bound lookup, prepared state, result registration — happens against
 // it, so a concurrent Apply never mixes two graphs inside one query.
-func (s *Session) find(q Query, workers int) (*core.Result, error) {
+// With pool non-nil the search runs in shared-pool mode: the calling
+// goroutine branches serially and donates subtrees to hungry pool
+// executors instead of spawning its own workers.
+func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, error) {
 	e := s.cur.Load()
 	if q.Weak {
 		q.Delta = e.g.N() // no balance constraint at this epoch's size
@@ -391,6 +467,10 @@ func (s *Session) find(q Query, workers int) (*core.Result, error) {
 		UseHeuristic: s.opt.UseHeuristic && seed == nil,
 		MaxNodes:     s.opt.MaxNodes,
 		Workers:      workers,
+	}
+	if pool != nil {
+		opt.Workers = 1 // parallelism comes from the pool's executors
+		opt.Pool = pool
 	}
 	if haveUB {
 		opt.StopAtSize = int(ub)
