@@ -11,12 +11,17 @@ BENCH_SCALE ?= 1.0
 # directory so they cannot clobber each other's records (the old fixed
 # /tmp/BENCH_*.new.json paths collided).
 BENCH_OUT_DIR ?= /tmp
-# MIN_SPEEDUP gates bench-parallel: the shared-pool W4/W1 grid speedup
-# must strictly exceed it (0 disables the gate; CI runs 1.0 on the
-# multi-core runner).
+# MIN_SPEEDUP gates bench-parallel and bench-ingest: the measured W4/W1
+# speedup must strictly exceed it (0 disables the gate; CI runs 1.0 on
+# the multi-core runner).
 MIN_SPEEDUP ?= 0
+# MEM_RATIO gates bench-ingest: the streaming builder's deterministic
+# peak must stay under this multiple of the final CSR bytes (0 disables
+# the gate; CI runs 2.0 — "never hold the edge list and the CSR
+# twice"). Unlike the speedup gate it is enforceable on any machine.
+MEM_RATIO ?= 0
 
-.PHONY: build test test-race race bench bench-check bench-parallel bench-full
+.PHONY: build test test-race race bench bench-check bench-parallel bench-ingest bench-full
 
 build:
 	$(GO) build ./...
@@ -39,13 +44,17 @@ race: test-race
 # independent) embedded under "grid", the dynamic-session experiment
 # (single-edge Apply+requery vs NewSession+requery) embedded under
 # "delta", and the session-global scheduler experiment (grid serial vs
-# static split vs shared work-stealing pool) embedded under "sched".
+# static split vs shared work-stealing pool) embedded under "sched",
+# and the paper-scale ingest experiment (streaming CSR build from SNAP
+# text, degeneracy pre-prune, component-parallel reduction on the
+# ~2.2M-edge IngestGiant instance) embedded under "ingest".
 # Future engine PRs compare against the committed record (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
 	$(GO) run ./cmd/benchmark -exp grid -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp delta -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp sched -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp ingest -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a
@@ -68,6 +77,18 @@ bench-check:
 bench-parallel:
 	@mkdir -p $(BENCH_OUT_DIR)
 	$(GO) run ./cmd/benchmark -exp sched -scale $(BENCH_SCALE) -min-speedup $(MIN_SPEEDUP) -out $(BENCH_OUT_DIR)/BENCH_sched.new.json
+
+# The paper-scale ingest pipeline: stream the SNAP text of the
+# IngestGiant instance into a CSR, degeneracy-prune it at the fairness
+# floor, reduce serial vs component-parallel, and answer the planted
+# query. The generated SNAP pair is cached under
+# $(BENCH_OUT_DIR)/instance (the CI job caches that directory between
+# runs). MEM_RATIO > 0 hard-fails when the builder's deterministic peak
+# reaches that multiple of the final CSR bytes; MIN_SPEEDUP > 0
+# hard-fails unless parallel reduction beats serial (multi-core only).
+bench-ingest:
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) run ./cmd/benchmark -exp ingest -scale $(BENCH_SCALE) -min-speedup $(MIN_SPEEDUP) -max-mem-ratio $(MEM_RATIO) -graph-dir $(BENCH_OUT_DIR)/instance -out $(BENCH_OUT_DIR)/BENCH_ingest.new.json
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

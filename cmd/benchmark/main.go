@@ -10,7 +10,7 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. Four extra experiments always emit JSON
+// casestudies, ablation, all. Five extra experiments always emit JSON
 // and feed BENCH_core.json, the repo's perf trajectory: "core"
 // benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
 // single-giant-component graph), "grid" measures the multi-query
@@ -18,11 +18,17 @@
 // independent Find calls (-grid overrides the canonical 9 cells) —
 // "delta" measures the dynamic session: a single-edge Apply plus
 // requery on a warm Session versus NewSession plus requery on the
-// mutated graph, and "sched" measures the session-global
-// work-stealing scheduler: the same grid serial, statically split and
-// on the shared pool (-min-speedup X exits 1 unless the shared-pool
-// W4/W1 speedup beats X — the bench-parallel CI gate). Use -merge
-// BENCH_core.json to embed the records; `make bench` runs all four.
+// mutated graph, "sched" measures the session-global work-stealing
+// scheduler: the same grid serial, statically split and on the shared
+// pool (-min-speedup X exits 1 unless the shared-pool W4/W1 speedup
+// beats X — the bench-parallel CI gate), and "ingest" measures the
+// paper-scale pipeline: SNAP text through the streaming CSR builder,
+// the degeneracy pre-prune and the component-parallel reduction on the
+// reproducible multi-million-edge instance (-max-mem-ratio gates the
+// deterministic streaming high-water against the final CSR bytes,
+// -min-speedup gates parallel-over-serial reduction, -graph-dir caches
+// the generated SNAP pair). Use -merge BENCH_core.json to embed the
+// records; `make bench` runs all five.
 package main
 
 import (
@@ -36,15 +42,17 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run")
-		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
-		out        = flag.String("out", "", "output path (default stdout)")
-		format     = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
-		maxNodes   = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
-		baseline   = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
-		merge      = flag.String("merge", "", "for -exp grid/delta/sched: existing BENCH_core.json to embed the record into")
-		gridSpec   = flag.String("grid", "", "for -exp grid/sched: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
-		minSpeedup = flag.Float64("min-speedup", 0, "for -exp sched: exit 1 unless the shared-pool W4/W1 grid speedup strictly exceeds this (0 = no gate)")
+		exp         = flag.String("exp", "all", "experiment to run")
+		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
+		out         = flag.String("out", "", "output path (default stdout)")
+		format      = flag.String("format", "markdown", "output format: markdown, json or chart (json/chart run the full suite)")
+		maxNodes    = flag.Int64("max-nodes", 0, "branch-node cap per search (0 = unlimited)")
+		baseline    = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
+		merge       = flag.String("merge", "", "for -exp grid/delta/sched: existing BENCH_core.json to embed the record into")
+		gridSpec    = flag.String("grid", "", "for -exp grid/sched: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
+		minSpeedup  = flag.Float64("min-speedup", 0, "for -exp sched/ingest: exit 1 unless the measured W4/W1 speedup strictly exceeds this (0 = no gate)")
+		maxMemRatio = flag.Float64("max-mem-ratio", 0, "for -exp ingest: exit 1 unless the streaming peak stays under this multiple of the final CSR bytes (0 = no gate)")
+		graphDir    = flag.String("graph-dir", "", "for -exp ingest: cache the generated SNAP instance pair in this directory")
 	)
 	flag.Parse()
 
@@ -103,6 +111,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: sched scheduler bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "ingest" {
+		// The paper-scale ingest experiment: streaming CSR build from
+		// SNAP text, degeneracy pre-prune and component-parallel
+		// reduction. JSON-only; -merge embeds it under "ingest";
+		// -max-mem-ratio and -min-speedup are the CI gates.
+		if err := bench.WriteIngestBench(cfg, w, *merge, *minSpeedup, *maxMemRatio, *graphDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: ingest pipeline bench finished in %v\n", time.Since(start))
 		return
 	}
 	switch *format {

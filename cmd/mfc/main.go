@@ -317,9 +317,10 @@ func runApply(g *fairclique.Graph, specs []fairclique.QuerySpec, d fairclique.De
 		fmt.Printf("delta: +%d edges, -%d edges, +%d vertices -> epoch %d (%.2f ms)\n",
 			ast.InsertedEdges, ast.DeletedEdges, ast.NewVertices, ast.Epoch,
 			float64(applyElapsed.Microseconds())/1000)
-		fmt.Printf("retained: %d component preps, %d/%d snapshots verbatim, %d/%d pool seeds\n",
-			ast.CompPrepsReused, ast.SnapshotsReused, ast.SnapshotsReused+ast.SnapshotsPatched,
-			ast.PoolRetained, ast.PoolRetained+ast.PoolDropped)
+		fmt.Printf("retained: %d component preps, %d/%d snapshots verbatim (%d rippled), %d/%d pool seeds\n",
+			ast.CompPrepsReused, ast.SnapshotsReused,
+			ast.SnapshotsReused+ast.SnapshotsPatched+ast.SnapshotsRippled,
+			ast.SnapshotsRippled, ast.PoolRetained, ast.PoolRetained+ast.PoolDropped)
 		fmt.Printf("after delta (%.2f ms):\n", float64(requeryElapsed.Microseconds())/1000)
 	}
 	printCells(specs, results, quiet)
@@ -338,9 +339,10 @@ func printSessionStats(s *fairclique.Session) {
 			st.Donations, st.Steals, st.CrossCellSteals, st.WorkerReleases)
 	}
 	if st.Applies > 0 {
-		fmt.Printf("dynamic: %d applies (epoch %d), %d comp preps reused, %d/%d snapshots verbatim, pool %d kept / %d dropped\n",
+		fmt.Printf("dynamic: %d applies (epoch %d), %d comp preps reused, %d/%d snapshots verbatim (%d rippled), pool %d kept / %d dropped\n",
 			st.Applies, st.Epoch, st.CompPrepsReused, st.SnapshotsReused,
-			st.SnapshotsReused+st.SnapshotsPatched, st.PoolRetained, st.PoolDropped)
+			st.SnapshotsReused+st.SnapshotsPatched+st.SnapshotsRippled,
+			st.SnapshotsRippled, st.PoolRetained, st.PoolDropped)
 	}
 }
 
@@ -437,9 +439,11 @@ func runREPL(g *fairclique.Graph, opt fairclique.SessionOptions) {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Printf("epoch %d: +%d edges, -%d edges, +%d vertices; retained %d comp preps, %d/%d snapshots, %d/%d seeds (%.2f ms)\n",
+			fmt.Printf("epoch %d: +%d edges, -%d edges, +%d vertices; retained %d comp preps, %d/%d snapshots (%d rippled), %d/%d seeds (%.2f ms)\n",
 				ast.Epoch, ast.InsertedEdges, ast.DeletedEdges, ast.NewVertices,
-				ast.CompPrepsReused, ast.SnapshotsReused, ast.SnapshotsReused+ast.SnapshotsPatched,
+				ast.CompPrepsReused, ast.SnapshotsReused,
+				ast.SnapshotsReused+ast.SnapshotsPatched+ast.SnapshotsRippled,
+				ast.SnapshotsRippled,
 				ast.PoolRetained, ast.PoolRetained+ast.PoolDropped,
 				float64(time.Since(start).Microseconds())/1000)
 		default:

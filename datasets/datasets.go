@@ -58,6 +58,15 @@ func Load(name string, scale float64) (*fairclique.Graph, error) {
 	return toPublic(d.Build(scale)), nil
 }
 
+// LoadSNAP loads a SNAP-format edge-list file and optional attribute
+// file ("" for none) through the streaming CSR builder — the ingest
+// path for external or gengraph-produced paper-scale instances. See
+// the package README for the format contract and a reproducible
+// multi-million-edge recipe.
+func LoadSNAP(edgePath, attrPath string) (*fairclique.Graph, error) {
+	return fairclique.ReadSNAPFiles(edgePath, attrPath)
+}
+
 // CaseStudy is a labelled domain graph for one of the four Fig. 10
 // scenarios, with the paper's query parameters.
 type CaseStudy struct {

@@ -166,6 +166,24 @@ func fromInternal(ig *graph.Graph) *Graph {
 	return &Graph{b: b, frozen: ig}
 }
 
+// ReadSNAPFiles loads a SNAP-format edge-list file and an optional
+// companion attribute file ("" for none) through the streaming CSR
+// builder: external vertex ids may be sparse (they are densified in
+// first-seen order, attribute file first), self-loops are dropped,
+// duplicate and reversed edges are merged, and the raw edge list is
+// never held in memory alongside the finished graph. Malformed records
+// are rejected with file- and line-numbered errors. This is the ingest
+// path for paper-scale instances; note that the returned Graph copies
+// into the mutable builder, so for benchmark-scale read-only pipelines
+// the cmd/benchmark ingest experiment uses the internal path directly.
+func ReadSNAPFiles(edgePath, attrPath string) (*Graph, error) {
+	ig, _, err := graph.LoadSNAP(edgePath, attrPath, graph.StreamConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("fairclique: %w", err)
+	}
+	return fromInternal(ig), nil
+}
+
 // ReadGraph parses a graph from the text format documented in the
 // internal graph package: "v <id> <a|b>" and "e <u> <v>" records, plus
 // plain SNAP-style "<u> <v>" edge lines.
@@ -330,10 +348,11 @@ type ReduceStats struct {
 	Edges    int
 }
 
-// Reduce runs the reduction pipeline (EnColorfulCore -> ColorfulSup ->
-// EnColorfulSup) for the size constraint k and returns the surviving
-// subgraph (vertex ids refer to g) plus per-stage statistics. Every
-// (k, δ)-fair clique of g survives in full.
+// Reduce runs the reduction pipeline (DegeneracyPrune ->
+// EnColorfulCore -> ColorfulSup -> EnColorfulSup) for the size
+// constraint k and returns the surviving subgraph (vertex ids refer to
+// g) plus per-stage statistics. Every (k, δ)-fair clique of g survives
+// in full.
 func Reduce(g *Graph, k int) (kept []int, stages []ReduceStats, err error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("fairclique: k must be >= 1, got %d", k)
@@ -445,8 +464,14 @@ type SessionStats struct {
 	Applies, Epoch int64
 	// SnapshotsPatched and SnapshotsReused count per-k reduction
 	// snapshots that an Apply re-reduced on the delta's dirty region
-	// only, versus carried over verbatim.
+	// only, versus carried over verbatim. SnapshotsRippled counts
+	// delete-only applies served by incremental peeling from the
+	// deleted edges' endpoints, which examined RippleVisited of the
+	// RippleDirty dirty-component vertices a re-reduction would have
+	// re-processed.
 	SnapshotsPatched, SnapshotsReused int64
+	SnapshotsRippled                  int64
+	RippleVisited, RippleDirty        int64
 	// CompPrepsReused counts per-component search machinery (peel-rank
 	// relabeling, successor masks, worker arenas) adopted across an
 	// Apply instead of rebuilt — the receipt that invalidation is
@@ -569,8 +594,13 @@ type ApplyStats struct {
 	// effective size after deduplication against the previous graph.
 	InsertedEdges, DeletedEdges, NewVertices int
 	// SnapshotsPatched and SnapshotsReused count per-k reduction
-	// snapshots re-reduced on the dirty region vs carried verbatim.
+	// snapshots re-reduced on the dirty region vs carried verbatim;
+	// SnapshotsRippled counts snapshots updated by the delete-only
+	// incremental peel, which examined RippleVisited of RippleDirty
+	// dirty-component vertices.
 	SnapshotsPatched, SnapshotsReused int64
+	SnapshotsRippled                  int64
+	RippleVisited, RippleDirty        int64
 	// CompPrepsReused counts adopted per-component search machinery.
 	CompPrepsReused int64
 	// PoolRetained and PoolDropped count surviving vs destroyed
@@ -602,6 +632,9 @@ func (s *Session) Apply(d Delta) (ApplyStats, error) {
 		NewVertices:      ast.NewVertices,
 		SnapshotsPatched: ast.SnapshotsPatched,
 		SnapshotsReused:  ast.SnapshotsReused,
+		SnapshotsRippled: ast.SnapshotsRippled,
+		RippleVisited:    ast.RippleVisited,
+		RippleDirty:      ast.RippleDirty,
 		CompPrepsReused:  ast.CompPrepsReused,
 		PoolRetained:     ast.PoolRetained,
 		PoolDropped:      ast.PoolDropped,
@@ -685,6 +718,9 @@ func (s *Session) Stats() SessionStats {
 		Epoch:            st.Epoch,
 		SnapshotsPatched: st.SnapshotsPatched,
 		SnapshotsReused:  st.SnapshotsReused,
+		SnapshotsRippled: st.SnapshotsRippled,
+		RippleVisited:    st.RippleVisited,
+		RippleDirty:      st.RippleDirty,
 		CompPrepsReused:  st.CompPrepsReused,
 		PoolRetained:     st.PoolRetained,
 		PoolDropped:      st.PoolDropped,

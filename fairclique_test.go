@@ -173,8 +173,11 @@ func TestReduceAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(stages) != 3 {
+	if len(stages) != 4 {
 		t.Fatalf("%d stages", len(stages))
+	}
+	if stages[0].Stage != "DegeneracyPrune" {
+		t.Fatalf("stage 0 = %q, want the degeneracy pre-prune", stages[0].Stage)
 	}
 	if len(kept) != 8 {
 		t.Fatalf("kept %d vertices; want the K8 only", len(kept))

@@ -57,6 +57,14 @@ type CoreBenchResult struct {
 	// (`benchmark -exp sched`): the grid answered serially, with the
 	// static Workers split, and on the shared work-stealing pool.
 	Sched *SchedBenchResult `json:"sched,omitempty"`
+	// Ingest, when present, is the paper-scale ingest experiment
+	// (`benchmark -exp ingest`): SNAP text → streaming CSR → degeneracy
+	// pre-prune → component-parallel reduction → search on the
+	// reproducible multi-million-edge instance.
+	Ingest *IngestBenchResult `json:"ingest,omitempty"`
+	// PeakAllocBytes is the sampled heap-allocation high-water mark
+	// across the measured engine runs (runtime.ReadMemStats).
+	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
 }
 
 // coreBenchInstance builds the deterministic single-giant-component
@@ -71,14 +79,16 @@ func coreBenchInstance(scale float64) (*graph.Graph, CoreBenchGraph) {
 // instance at Workers 1 and 4: wall clock, node throughput and heap
 // allocations per node (end to end, so per-component setup is included
 // and amortized).
-func CoreBench(cfg Config) CoreBenchResult {
+func CoreBench(cfg Config) (res CoreBenchResult) {
 	g, desc := coreBenchInstance(cfg.scale())
-	res := CoreBenchResult{
+	res = CoreBenchResult{
 		Graph:      desc,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
 	opt := core.Options{K: 2, Delta: 4, SkipReduction: true, MaxNodes: cfg.MaxNodes}
+	sampler := startPeakSampler()
+	defer func() { res.PeakAllocBytes = sampler.Stop() }()
 	for _, workers := range []int{1, 4} {
 		opt.Workers = workers
 		// Warm-up run, then best-of-3 wall clock.

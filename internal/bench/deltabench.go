@@ -44,6 +44,9 @@ type DeltaBenchResult struct {
 	K     int                  `json:"k"`
 	Delta int                  `json:"delta"`
 	Runs  []DeltaBenchScenario `json:"runs"`
+	// PeakAllocBytes is the sampled heap high-water mark across the
+	// measured runs (runtime.ReadMemStats).
+	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
 }
 
 // deltaBenchEdges picks the benchmark deltas structurally (no reliance
@@ -85,10 +88,12 @@ func deltaBenchEdges(g *graph.Graph) (chord [2]int32, cycleEdge [2]int32, err er
 // session beats NewSession+requery because the delta lands in the
 // cheap shell while the reduction nucleus, the prepared component
 // machinery and the solved-cell bounds all carry over.
-func DeltaBench(cfg Config) (DeltaBenchResult, error) {
+func DeltaBench(cfg Config) (res DeltaBenchResult, err error) {
 	g, desc := coreBenchInstance(cfg.scale())
 	q := session.Query{K: 2, Delta: 2}
-	res := DeltaBenchResult{Graph: desc, K: int(q.K), Delta: int(q.Delta)}
+	res = DeltaBenchResult{Graph: desc, K: int(q.K), Delta: int(q.Delta)}
+	sampler := startPeakSampler()
+	defer func() { res.PeakAllocBytes = sampler.Stop() }()
 	sopt := session.Options{
 		UseBounds:    true,
 		Extra:        bounds.ColorfulDegeneracy,

@@ -46,6 +46,9 @@ type GridBenchResult struct {
 	WarmStarts      int64 `json:"warm_starts"`
 	DominanceSkips  int64 `json:"dominance_skips"`
 	SessionNodes    int64 `json:"session_nodes"`
+	// PeakAllocBytes is the sampled heap high-water mark across the
+	// measured runs (runtime.ReadMemStats).
+	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
 }
 
 // gridBenchQueries expands the experiment's grid spec (Config.GridSpec
@@ -77,17 +80,19 @@ func gridBenchQueries(spec string) (string, []session.Query, error) {
 // GridBench measures the grid on the bigcomp-giant instance:
 // independent per-cell MaxRFC calls versus one session FindGrid,
 // asserting cell-for-cell equality.
-func GridBench(cfg Config) (GridBenchResult, error) {
+func GridBench(cfg Config) (res GridBenchResult, err error) {
 	g, desc := coreBenchInstance(cfg.scale())
 	spec, qs, err := gridBenchQueries(cfg.GridSpec)
 	if err != nil {
 		return GridBenchResult{}, err
 	}
-	res := GridBenchResult{
+	res = GridBenchResult{
 		Graph:    desc,
 		GridSpec: spec,
 		AllMatch: true,
 	}
+	sampler := startPeakSampler()
+	defer func() { res.PeakAllocBytes = sampler.Stop() }()
 	sopt := session.Options{
 		UseBounds:    true,
 		Extra:        bounds.ColorfulDegeneracy,

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// peakSampler records the heap-allocation high-water mark across a
+// measured region via runtime.ReadMemStats: one sample at start, one at
+// stop, and a background ticker in between so short-lived peaks inside
+// long phases are not missed. The figure is a sampled runtime
+// observation — honest for reporting (every BENCH record carries it as
+// peak_alloc_bytes) but not bit-deterministic, which is why the ingest
+// memory gate uses the builder's analytic PeakTrackedBytes instead.
+type peakSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+// peakSampleInterval balances resolution against the stop-the-world
+// cost of ReadMemStats.
+const peakSampleInterval = 5 * time.Millisecond
+
+func startPeakSampler() *peakSampler {
+	p := &peakSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	p.sample()
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(peakSampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.sample()
+			}
+		}
+	}()
+	return p
+}
+
+func (p *peakSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > p.peak {
+		p.peak = ms.HeapAlloc
+	}
+}
+
+// Stop ends sampling, takes a final sample and returns the peak
+// observed heap allocation in bytes.
+func (p *peakSampler) Stop() uint64 {
+	close(p.stop)
+	<-p.done
+	p.sample()
+	return p.peak
+}

@@ -55,6 +55,9 @@ type SchedBenchResult struct {
 	Steals          int64 `json:"steals"`
 	CrossCellSteals int64 `json:"cross_cell_steals"`
 	WorkerReleases  int64 `json:"worker_releases"`
+	// PeakAllocBytes is the sampled heap high-water mark across the
+	// measured runs (runtime.ReadMemStats).
+	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
 }
 
 // schedWorkers is the parallel configuration measured against W1 — the
@@ -63,13 +66,13 @@ const schedWorkers = 4
 
 // SchedBench measures the grid scheduler on the bigcomp-giant
 // instance under the three scheduling modes.
-func SchedBench(cfg Config) (SchedBenchResult, error) {
+func SchedBench(cfg Config) (res SchedBenchResult, err error) {
 	g, desc := coreBenchInstance(cfg.scale())
 	spec, qs, err := gridBenchQueries(cfg.GridSpec)
 	if err != nil {
 		return SchedBenchResult{}, err
 	}
-	res := SchedBenchResult{
+	res = SchedBenchResult{
 		Graph:      desc,
 		GridSpec:   spec,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -77,6 +80,8 @@ func SchedBench(cfg Config) (SchedBenchResult, error) {
 		Workers:    schedWorkers,
 		AllMatch:   true,
 	}
+	sampler := startPeakSampler()
+	defer func() { res.PeakAllocBytes = sampler.Stop() }()
 	base := session.Options{
 		UseBounds:    true,
 		Extra:        bounds.ColorfulDegeneracy,

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"fairclique/internal/enum"
+	"fairclique/internal/gen"
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+// The degeneracy pre-prune (stage 0 of the reduction pipeline) must be
+// exactness-preserving: Find through the pruned pipeline has to agree
+// with Find on the raw graph (SkipReduction) and, on <= 18-vertex
+// instances, with the subset-enumeration ground truth — across all six
+// Table II bound configurations and both fairness modes (strong δ=0
+// and weak, i.e. δ large enough to never bind).
+
+func smallInstances() []*graph.Graph {
+	r := rng.New(20260808)
+	var out []*graph.Graph
+	for seed := uint64(0); seed < 8; seed++ {
+		n := 10 + int(r.Intn(9)) // <= 18 so the oracle stays cheap
+		out = append(out,
+			gen.AssignUniform(seed+10, gen.ErdosRenyi(seed, n, n*3), 0.5),
+			gen.AssignUniform(seed+20, gen.BarabasiAlbert(seed, n, 3), 0.35),
+		)
+		planted, _ := gen.PlantFairClique(seed+30, gen.ErdosRenyi(seed+5, n, n*2), 3, 3)
+		out = append(out, planted)
+	}
+	return out
+}
+
+func TestPrunedPipelineMatchesOracle(t *testing.T) {
+	for gi, g := range smallInstances() {
+		n := int(g.N())
+		for _, kd := range [][2]int{{1, 0}, {1, 1}, {2, 0}, {2, 2}, {3, 1}, {2, n}, {1, n}} {
+			k, delta := kd[0], kd[1] // delta == n is the weak (unconstrained-balance) mode
+			want := len(enum.BruteForceMaxFair(g, k, delta))
+			for _, opt := range sixBoundConfigs(k, delta) {
+				pruned := mustMaxRFC(t, g, opt)
+				if pruned.Size() != want {
+					t.Fatalf("g%d n=%d k=%d δ=%d extra=%v: pruned pipeline %d, oracle %d",
+						gi, n, k, delta, opt.Extra, pruned.Size(), want)
+				}
+				if pruned.Size() > 0 && !g.IsFairClique(pruned.Clique, k, delta) {
+					t.Fatalf("g%d k=%d δ=%d extra=%v: result not a fair clique", gi, k, delta, opt.Extra)
+				}
+				raw := opt
+				raw.SkipReduction = true
+				if unpruned := mustMaxRFC(t, g, raw); unpruned.Size() != want {
+					t.Fatalf("g%d n=%d k=%d δ=%d extra=%v: unpruned %d, oracle %d",
+						gi, n, k, delta, opt.Extra, unpruned.Size(), want)
+				}
+			}
+		}
+	}
+}
+
+// Larger-than-oracle fuzz: pruned vs unpruned Find agreement on graphs
+// where the pre-prune actually removes material (power-law tails are
+// mostly below the 2k-1 floor).
+func TestPrunedPipelineMatchesUnpruned(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := gen.AssignUniform(seed+50, gen.BarabasiAlbert(seed, 120, 4), 0.5)
+		for _, kd := range [][2]int{{2, 0}, {2, 1}, {3, 2}, {2, 120}} {
+			k, delta := kd[0], kd[1]
+			for _, opt := range sixBoundConfigs(k, delta) {
+				pruned := mustMaxRFC(t, g, opt)
+				raw := opt
+				raw.SkipReduction = true
+				unpruned := mustMaxRFC(t, g, raw)
+				if pruned.Size() != unpruned.Size() {
+					t.Fatalf("seed %d k=%d δ=%d extra=%v: pruned %d vs unpruned %d",
+						seed, k, delta, opt.Extra, pruned.Size(), unpruned.Size())
+				}
+			}
+		}
+	}
+}

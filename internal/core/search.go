@@ -183,7 +183,10 @@ func MaxRFC(g *graph.Graph, opt Options) (*Result, error) {
 		work = g
 		toOrig = identity(g.N())
 	} else {
-		sub, _ := reduce.Pipeline(g, int32(opt.K))
+		// The reduction fans connected components across the same worker
+		// bound the search uses; serial and parallel runs are
+		// bit-identical.
+		sub, _ := reduce.PipelineN(g, int32(opt.K), opt.Workers)
 		work, toOrig = sub.G, sub.ToParent
 	}
 	return PrepareReduced(work, toOrig).Search(opt, nil)

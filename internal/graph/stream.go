@@ -1,0 +1,467 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// StreamConfig tunes the chunk-sorted two-pass CSR builder. The zero
+// value selects defaults suitable for multi-million-edge inputs.
+type StreamConfig struct {
+	// ChunkEdges is the sorted-chunk granularity: edges are buffered,
+	// sorted and sealed in chunks of this many entries. Default 1<<19.
+	ChunkEdges int
+	// MaxMemEdges bounds how many sealed edges stay in memory before
+	// the builder merges them into one sorted run on disk. Default
+	// 4*ChunkEdges.
+	MaxMemEdges int
+	// SpillDir is where sorted runs are spilled. Default os.TempDir().
+	SpillDir string
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.ChunkEdges <= 0 {
+		c.ChunkEdges = 1 << 19
+	}
+	if c.MaxMemEdges < c.ChunkEdges {
+		c.MaxMemEdges = 4 * c.ChunkEdges
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
+	}
+	return c
+}
+
+// StreamStats reports what a StreamBuilder did, including a
+// deterministic memory high-water mark used by the CI "never hold it
+// twice" gate.
+type StreamStats struct {
+	// EdgesRead counts edge records accepted by AddEdge (before dedup,
+	// after self-loop dropping).
+	EdgesRead int64 `json:"edges_read"`
+	// SelfLoops counts dropped u==v records.
+	SelfLoops int64 `json:"self_loops"`
+	// Duplicates counts records dropped because an identical canonical
+	// edge was already present.
+	Duplicates int64 `json:"duplicates"`
+	// Vertices and Edges are the final CSR sizes.
+	Vertices int32 `json:"vertices"`
+	Edges    int64 `json:"edges"`
+	// RunsSpilled is the number of sorted runs written to disk, and
+	// SpilledBytes their total size.
+	RunsSpilled  int   `json:"runs_spilled"`
+	SpilledBytes int64 `json:"spilled_bytes"`
+	// PeakTrackedBytes is the high-water mark of builder-owned memory:
+	// edge buffers, vertex remap state, spill-run read buffers, and the
+	// CSR arrays themselves. It is computed analytically from buffer
+	// sizes (not sampled from the runtime) so it is bit-deterministic
+	// and safe to gate on in CI.
+	PeakTrackedBytes int64 `json:"peak_tracked_bytes"`
+	// CSRBytes is the size of the finished CSR arrays (offsets,
+	// adjacency, edge ids, canonical edge list, attributes). The
+	// streaming claim is PeakTrackedBytes < 2*CSRBytes.
+	CSRBytes int64 `json:"csr_bytes"`
+}
+
+// StreamBuilder assembles an immutable CSR Graph from an edge stream
+// without ever holding the raw edge list and the CSR in memory at the
+// same time. Edges are packed into sorted chunks; once the in-memory
+// budget is exceeded the chunks are merged into sorted runs on disk.
+// Build then makes two merge passes over the runs: one to count
+// degrees, one to place adjacency — so peak memory is the CSR plus a
+// bounded edge buffer, not CSR plus the whole edge list.
+//
+// External vertex ids are arbitrary non-negative int64s; they are
+// remapped to dense int32 ids in first-seen order (stable across runs
+// for the same input order). Self-loops are dropped and duplicate /
+// reversed edges are deduplicated. A StreamBuilder is single-use and
+// not safe for concurrent use.
+type StreamBuilder struct {
+	cfg StreamConfig
+
+	remap map[int64]int32
+	ext   []int64
+	attrs []Attr
+
+	cur      []uint64   // current unsorted chunk, cap cfg.ChunkEdges
+	mem      [][]uint64 // sealed sorted chunks
+	memEdges int
+	runs     []*os.File // sorted on-disk runs
+
+	stats   StreamStats
+	tracked int64 // current builder-owned bytes (deterministic accounting)
+	done    bool
+}
+
+// spillBufBytes is the buffered-IO size used per spill run during the
+// merge passes (counted in PeakTrackedBytes).
+const spillBufBytes = 32 << 10
+
+// bytesPerRemapEntry is the deterministic accounting charge for one
+// external vertex: map entry (conservative), ext-id slice entry, and
+// attribute byte.
+const bytesPerRemapEntry = 48 + 8 + 1
+
+// NewStreamBuilder returns a builder with the given configuration.
+func NewStreamBuilder(cfg StreamConfig) *StreamBuilder {
+	cfg = cfg.withDefaults()
+	sb := &StreamBuilder{
+		cfg:   cfg,
+		remap: make(map[int64]int32),
+		cur:   make([]uint64, 0, cfg.ChunkEdges),
+	}
+	sb.track(int64(8 * cfg.ChunkEdges)) // cur is preallocated at full cap
+	return sb
+}
+
+func (sb *StreamBuilder) track(delta int64) {
+	sb.tracked += delta
+	if sb.tracked > sb.stats.PeakTrackedBytes {
+		sb.stats.PeakTrackedBytes = sb.tracked
+	}
+}
+
+func (sb *StreamBuilder) intern(ext int64) (int32, error) {
+	if id, ok := sb.remap[ext]; ok {
+		return id, nil
+	}
+	if len(sb.ext) >= 1<<31-1 {
+		return 0, fmt.Errorf("graph: too many vertices for int32 ids")
+	}
+	id := int32(len(sb.ext))
+	sb.remap[ext] = id
+	sb.ext = append(sb.ext, ext)
+	sb.attrs = append(sb.attrs, AttrA)
+	sb.track(bytesPerRemapEntry)
+	return id, nil
+}
+
+// SetAttr records the attribute of the external vertex id, interning it
+// if unseen. Calling SetAttr before the vertex's first edge pins its
+// dense id, so loading an attribute file ahead of the edge list yields
+// the attribute file's vertex order.
+func (sb *StreamBuilder) SetAttr(ext int64, a Attr) error {
+	if sb.done {
+		return fmt.Errorf("graph: StreamBuilder already built")
+	}
+	if ext < 0 {
+		return fmt.Errorf("graph: negative vertex id %d", ext)
+	}
+	id, err := sb.intern(ext)
+	if err != nil {
+		return err
+	}
+	sb.attrs[id] = a
+	return nil
+}
+
+// AddEdge streams one undirected edge. Self-loops are counted and
+// dropped; duplicates (in either orientation) are deduplicated during
+// the merge passes.
+func (sb *StreamBuilder) AddEdge(u, v int64) error {
+	if sb.done {
+		return fmt.Errorf("graph: StreamBuilder already built")
+	}
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative vertex id in edge (%d, %d)", u, v)
+	}
+	if u == v {
+		sb.stats.SelfLoops++
+		// Interning keeps the vertex: a self-loop still names it.
+		_, err := sb.intern(u)
+		return err
+	}
+	du, err := sb.intern(u)
+	if err != nil {
+		return err
+	}
+	dv, err := sb.intern(v)
+	if err != nil {
+		return err
+	}
+	if du > dv {
+		du, dv = dv, du
+	}
+	sb.cur = append(sb.cur, uint64(du)<<32|uint64(uint32(dv)))
+	sb.stats.EdgesRead++
+	if len(sb.cur) == cap(sb.cur) {
+		return sb.seal()
+	}
+	return nil
+}
+
+// seal sorts the current chunk and moves it to the sealed set, spilling
+// a merged run to disk when the in-memory budget is exceeded.
+func (sb *StreamBuilder) seal() error {
+	if len(sb.cur) == 0 {
+		return nil
+	}
+	chunk := make([]uint64, len(sb.cur))
+	copy(chunk, sb.cur)
+	sb.cur = sb.cur[:0]
+	sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
+	sb.mem = append(sb.mem, chunk)
+	sb.memEdges += len(chunk)
+	sb.track(int64(8 * len(chunk)))
+	if sb.memEdges > sb.cfg.MaxMemEdges {
+		return sb.spill()
+	}
+	return nil
+}
+
+// spill merges every sealed in-memory chunk into one sorted,
+// deduplicated run on disk and releases the chunk memory.
+func (sb *StreamBuilder) spill() error {
+	f, err := os.CreateTemp(sb.cfg.SpillDir, "fairclique-spill-*.run")
+	if err != nil {
+		return fmt.Errorf("graph: spill: %w", err)
+	}
+	w := bufio.NewWriterSize(f, spillBufBytes)
+	sb.track(spillBufBytes)
+	var written int64
+	var buf [8]byte
+	err = sb.mergeMem(func(packed uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], packed)
+		if _, werr := w.Write(buf[:]); werr != nil {
+			return werr
+		}
+		written++
+		return nil
+	})
+	if err == nil {
+		err = w.Flush()
+	}
+	sb.track(-spillBufBytes)
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("graph: spill: %w", err)
+	}
+	for _, c := range sb.mem {
+		sb.track(int64(-8 * len(c)))
+	}
+	sb.mem, sb.memEdges = nil, 0
+	sb.runs = append(sb.runs, f)
+	sb.stats.RunsSpilled++
+	sb.stats.SpilledBytes += 8 * written
+	return nil
+}
+
+// mergeMem streams the union of the sealed in-memory chunks in sorted
+// order with duplicates removed (and counted).
+func (sb *StreamBuilder) mergeMem(emit func(uint64) error) error {
+	pos := make([]int, len(sb.mem))
+	var last uint64
+	first := true
+	for {
+		best, bestIdx := uint64(0), -1
+		for i, c := range sb.mem {
+			if pos[i] < len(c) && (bestIdx < 0 || c[pos[i]] < best) {
+				best, bestIdx = c[pos[i]], i
+			}
+		}
+		if bestIdx < 0 {
+			return nil
+		}
+		pos[bestIdx]++
+		if !first && best == last {
+			sb.stats.Duplicates++
+			continue
+		}
+		first, last = false, best
+		if err := emit(best); err != nil {
+			return err
+		}
+	}
+}
+
+// edgeSource is one sorted stream feeding the final k-way merge: either
+// a sealed in-memory chunk or a spilled run.
+type edgeSource struct {
+	chunk []uint64
+	pos   int
+
+	f   *os.File
+	r   *bufio.Reader
+	cur uint64
+	ok  bool
+}
+
+func (s *edgeSource) advance() error {
+	if s.f == nil {
+		if s.pos < len(s.chunk) {
+			s.cur, s.ok = s.chunk[s.pos], true
+			s.pos++
+		} else {
+			s.ok = false
+		}
+		return nil
+	}
+	var buf [8]byte
+	switch _, err := io.ReadFull(s.r, buf[:]); err {
+	case nil:
+		s.cur, s.ok = binary.LittleEndian.Uint64(buf[:]), true
+		return nil
+	case io.EOF:
+		s.ok = false
+		return nil
+	case io.ErrUnexpectedEOF:
+		s.ok = false
+		return fmt.Errorf("graph: truncated spill run")
+	default:
+		s.ok = false
+		return err
+	}
+}
+
+// merge runs one deduplicating k-way merge pass over all sealed chunks
+// and spilled runs. countDups must be true on exactly one pass so
+// duplicates are counted once.
+func (sb *StreamBuilder) merge(countDups bool, emit func(uint64) error) error {
+	srcs := make([]*edgeSource, 0, len(sb.mem)+len(sb.runs))
+	for _, c := range sb.mem {
+		srcs = append(srcs, &edgeSource{chunk: c})
+	}
+	for _, f := range sb.runs {
+		if _, err := f.Seek(0, 0); err != nil {
+			return fmt.Errorf("graph: merge: %w", err)
+		}
+		srcs = append(srcs, &edgeSource{f: f, r: bufio.NewReaderSize(f, spillBufBytes)})
+		sb.track(spillBufBytes)
+	}
+	defer sb.track(int64(-spillBufBytes * len(sb.runs)))
+	for _, s := range srcs {
+		if err := s.advance(); err != nil {
+			return err
+		}
+	}
+	var last uint64
+	first := true
+	for {
+		bestIdx := -1
+		for i, s := range srcs {
+			if s.ok && (bestIdx < 0 || s.cur < srcs[bestIdx].cur) {
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			return nil
+		}
+		v := srcs[bestIdx].cur
+		if err := srcs[bestIdx].advance(); err != nil {
+			return err
+		}
+		if !first && v == last {
+			if countDups {
+				sb.stats.Duplicates++
+			}
+			continue
+		}
+		first, last = false, v
+		if err := emit(v); err != nil {
+			return err
+		}
+	}
+}
+
+// Build finishes the stream and assembles the CSR graph in two merge
+// passes: degree counting, then adjacency placement. The builder's
+// spill files are removed and the builder cannot be reused. Stats are
+// only meaningful after Build returns.
+func (sb *StreamBuilder) Build() (*Graph, *StreamStats, error) {
+	if sb.done {
+		return nil, nil, fmt.Errorf("graph: StreamBuilder already built")
+	}
+	sb.done = true
+	defer sb.cleanup()
+	if err := sb.seal(); err != nil {
+		return nil, nil, err
+	}
+	// cur is no longer needed: every edge is sealed.
+	sb.cur = nil
+	sb.track(int64(-8 * sb.cfg.ChunkEdges))
+
+	n := len(sb.ext)
+	if n == 0 {
+		sb.stats.CSRBytes = 4
+		g := &Graph{offsets: []int32{0}, attrs: []Attr{}}
+		st := sb.stats
+		return g, &st, nil
+	}
+
+	// Pass 1: degrees and final edge count.
+	deg := make([]int32, n)
+	sb.track(int64(4 * n))
+	var m int64
+	err := sb.merge(true, func(packed uint64) error {
+		deg[packed>>32]++
+		deg[uint32(packed)]++
+		m++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if 2*m > 1<<31-1 {
+		return nil, nil, fmt.Errorf("graph: too many edges for int32 ids (%d)", m)
+	}
+
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	// Reuse deg as the fill cursor (current write offset per vertex).
+	fill := deg
+	copy(fill, offsets[:n])
+
+	nbrs := make([]int32, 2*m)
+	eids := make([]int32, 2*m)
+	edges := make([][2]int32, m)
+	sb.track(int64(4*(n+1)) + 24*m)
+
+	// Pass 2: placement. The merge yields canonical edges sorted by
+	// (lo, hi), so every adjacency list comes out sorted: for vertex v
+	// the edges with v as the high endpoint arrive grouped by their
+	// (smaller) low endpoints in increasing order, followed by the
+	// edges with v as the low endpoint in increasing high-endpoint
+	// order — and every low endpoint is < v < every high endpoint.
+	var e int32
+	err = sb.merge(false, func(packed uint64) error {
+		u, v := int32(packed>>32), int32(uint32(packed))
+		edges[e] = [2]int32{u, v}
+		nbrs[fill[u]], eids[fill[u]] = v, e
+		fill[u]++
+		nbrs[fill[v]], eids[fill[v]] = u, e
+		fill[v]++
+		e++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	g := &Graph{offsets: offsets, nbrs: nbrs, eids: eids, attrs: sb.attrs, edges: edges}
+	sb.stats.Vertices = int32(n)
+	sb.stats.Edges = m
+	sb.stats.CSRBytes = int64(4*(n+1)) + 24*m + int64(n)
+	st := sb.stats
+	return g, &st, nil
+}
+
+// ExternalIDs returns the external id of each dense vertex (the remap
+// table, in dense-id order). Valid after Build.
+func (sb *StreamBuilder) ExternalIDs() []int64 { return sb.ext }
+
+func (sb *StreamBuilder) cleanup() {
+	for _, f := range sb.runs {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}
+	sb.runs = nil
+	sb.mem, sb.memEdges = nil, 0
+}

@@ -1,0 +1,378 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairclique/internal/rng"
+)
+
+// sameGraph asserts two graphs are structurally identical: sizes,
+// canonical edge lists, adjacency and attributes.
+func sameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("size mismatch: got n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for v := int32(0); v < want.N(); v++ {
+		if got.Attr(v) != want.Attr(v) {
+			t.Fatalf("attr mismatch at %d: got %v want %v", v, got.Attr(v), want.Attr(v))
+		}
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("degree mismatch at %d: got %d want %d", v, len(gn), len(wn))
+		}
+		for i := range gn {
+			if gn[i] != wn[i] {
+				t.Fatalf("adjacency mismatch at %d[%d]: got %d want %d", v, i, gn[i], wn[i])
+			}
+		}
+	}
+	for e := int32(0); e < want.M(); e++ {
+		gu, gv := got.Edge(e)
+		wu, wv := want.Edge(e)
+		if gu != wu || gv != wv {
+			t.Fatalf("edge %d mismatch: got (%d,%d) want (%d,%d)", e, gu, gv, wu, wv)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("streamed graph invalid: %v", err)
+	}
+}
+
+// TestStreamBuilderMatchesBuilder fuzzes noisy edge streams (duplicates,
+// reversed orientations, self-loops) through the streaming builder at
+// spill-forcing chunk sizes and checks the result is identical to the
+// in-memory Builder's.
+func TestStreamBuilderMatchesBuilder(t *testing.T) {
+	cfgs := []StreamConfig{
+		{},                                     // defaults: everything in memory
+		{ChunkEdges: 8, MaxMemEdges: 16},       // many spilled runs
+		{ChunkEdges: 64, MaxMemEdges: 1 << 20}, // many chunks, no spill
+	}
+	for trial := 0; trial < 20; trial++ {
+		r := rng.New(uint64(9000 + trial))
+		n := 5 + r.Intn(60)
+		b := NewBuilder(n)
+		for v := 0; v < n; v++ {
+			if r.Bool(0.5) {
+				b.SetAttr(int32(v), AttrB)
+			}
+		}
+		type rec struct{ u, v int64 }
+		var stream []rec
+		for i := 0; i < 4*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(int32(u), int32(v))
+			}
+			stream = append(stream, rec{int64(u), int64(v)})
+			if r.Bool(0.3) { // duplicate, possibly reversed
+				stream = append(stream, rec{int64(v), int64(u)})
+			}
+		}
+		want := b.Build()
+		for ci, cfg := range cfgs {
+			cfg.SpillDir = t.TempDir()
+			sb := NewStreamBuilder(cfg)
+			// Pin vertex order so dense ids match the Builder's.
+			for v := 0; v < n; v++ {
+				if err := sb.SetAttr(int64(v), want.Attr(int32(v))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, e := range stream {
+				if err := sb.AddEdge(e.u, e.v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, st, err := sb.Build()
+			if err != nil {
+				t.Fatalf("trial %d cfg %d: %v", trial, ci, err)
+			}
+			sameGraph(t, want, got)
+			if st.Edges != int64(want.M()) || st.Vertices != want.N() {
+				t.Fatalf("trial %d cfg %d: stats sizes %d/%d vs graph %d/%d",
+					trial, ci, st.Vertices, st.Edges, want.N(), want.M())
+			}
+			if st.EdgesRead != st.Edges+st.Duplicates {
+				t.Fatalf("trial %d cfg %d: read %d != edges %d + dups %d",
+					trial, ci, st.EdgesRead, st.Edges, st.Duplicates)
+			}
+			if ents, _ := os.ReadDir(cfg.SpillDir); len(ents) != 0 {
+				t.Fatalf("trial %d cfg %d: spill files left behind: %v", trial, ci, ents)
+			}
+		}
+	}
+}
+
+func TestStreamBuilderSpillsAndTracks(t *testing.T) {
+	dir := t.TempDir()
+	sb := NewStreamBuilder(StreamConfig{ChunkEdges: 16, MaxMemEdges: 32, SpillDir: dir})
+	r := rng.New(4242)
+	n := 200
+	for i := 0; i < 3000; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if err := sb.AddEdge(int64(u), int64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, st, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunsSpilled == 0 || st.SpilledBytes == 0 {
+		t.Fatalf("expected spilled runs, got %+v", st)
+	}
+	if st.PeakTrackedBytes <= 0 || st.CSRBytes <= 0 {
+		t.Fatalf("missing memory accounting: %+v", st)
+	}
+	wantCSR := int64(4*(g.N()+1)) + 24*int64(g.M()) + int64(g.N())
+	if st.CSRBytes != wantCSR {
+		t.Fatalf("CSRBytes = %d, want %d", st.CSRBytes, wantCSR)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamBuilderRemapAndSelfLoops(t *testing.T) {
+	sb := NewStreamBuilder(StreamConfig{SpillDir: t.TempDir()})
+	// Non-contiguous external ids; first-seen order pins dense ids.
+	if err := sb.AddEdge(1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddEdge(7, 7); err != nil { // self-loop: dropped, vertex kept
+		t.Fatal(err)
+	}
+	if err := sb.AddEdge(99, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.SetAttr(99, AttrB); err != nil {
+		t.Fatal(err)
+	}
+	g, st, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SelfLoops != 1 {
+		t.Fatalf("SelfLoops = %d, want 1", st.SelfLoops)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 3/2", g.N(), g.M())
+	}
+	ext := sb.ExternalIDs()
+	if ext[0] != 1000 || ext[1] != 7 || ext[2] != 99 {
+		t.Fatalf("remap order = %v, want [1000 7 99]", ext)
+	}
+	if g.Attr(2) != AttrB || g.Attr(0) != AttrA {
+		t.Fatalf("attrs not remapped: %v %v", g.Attr(0), g.Attr(2))
+	}
+	if _, _, err := sb.Build(); err == nil {
+		t.Fatal("second Build should fail")
+	}
+	if err := sb.AddEdge(1, 2); err == nil {
+		t.Fatal("AddEdge after Build should fail")
+	}
+}
+
+// TestReadSNAPEdgesTable is the loader-robustness table: every noisy
+// input is either normalized or rejected with a line-numbered error.
+func TestReadSNAPEdgesTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantN   int32
+		wantM   int64
+		wantErr string // substring; "" means success
+	}{
+		{"comments and blanks", "# header\n% also a comment\n\n1 2\n  \n2 3\n", 3, 2, ""},
+		{"duplicate edges", "1 2\n1 2\n1\t2\n", 2, 1, ""},
+		{"reversed duplicate", "1 2\n2 1\n", 2, 1, ""},
+		{"self loop dropped", "5 5\n5 6\n", 2, 1, ""},
+		{"non-contiguous ids", "1000000000000 7\n7 42\n", 3, 2, ""},
+		{"tabs and padding", "\t 1 \t 2 \t\n", 2, 1, ""},
+		{"truncated record", "1 2\n3\n", 0, 0, "line 2"},
+		{"negative id", "1 2\n-3 4\n", 0, 0, "line 2"},
+		{"non-numeric", "1 2\nfoo bar\n", 0, 0, "line 2"},
+		{"three fields", "1 2 3\n", 0, 0, "line 1"},
+		{"overflow id", "1 2\n99999999999999999999 3\n", 0, 0, "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sb := NewStreamBuilder(StreamConfig{SpillDir: t.TempDir()})
+			err := ReadSNAPEdges(strings.NewReader(tc.in), sb)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, _, err := sb.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tc.wantN || int64(g.M()) != tc.wantM {
+				t.Fatalf("got n=%d m=%d, want n=%d m=%d", g.N(), g.M(), tc.wantN, tc.wantM)
+			}
+		})
+	}
+}
+
+func TestReadSNAPAttrsTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string
+	}{
+		{"ok", "# attrs\n0 a\n1 b\n2 0\n3 1\n", ""},
+		{"repeated id last wins", "0 a\n0 b\n", ""},
+		{"bad attr", "0 a\n1 x\n", "line 2"},
+		{"missing attr", "0\n", "line 1"},
+		{"negative id", "-1 a\n", "line 1"},
+		{"trailing garbage", "0 a b\n", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sb := NewStreamBuilder(StreamConfig{SpillDir: t.TempDir()})
+			err := ReadSNAPAttrs(strings.NewReader(tc.in), sb)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Last-wins semantics.
+	sb := NewStreamBuilder(StreamConfig{SpillDir: t.TempDir()})
+	if err := ReadSNAPAttrs(strings.NewReader("0 a\n0 b\n"), sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Attr(0) != AttrB {
+		t.Fatalf("repeated attr: got %v, want b", g.Attr(0))
+	}
+}
+
+// TestSNAPRoundTrip writes a random graph as a SNAP pair and loads it
+// back through the streaming path; attribute-file-first loading makes
+// the round trip exact (identical dense ids).
+func TestSNAPRoundTrip(t *testing.T) {
+	r := rng.New(77)
+	n := 80
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if r.Bool(0.4) {
+			b.SetAttr(int32(v), AttrB)
+		}
+	}
+	for i := 0; i < 6*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	want := b.Build()
+
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "g.snap")
+	attrPath := filepath.Join(dir, "g.attrs")
+	var eb, ab bytes.Buffer
+	if err := WriteSNAP(&eb, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSNAPAttrs(&ab, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edgePath, eb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(attrPath, ab.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := LoadSNAP(edgePath, attrPath, StreamConfig{ChunkEdges: 32, MaxMemEdges: 64, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, want, got)
+	if st.Duplicates != 0 || st.SelfLoops != 0 {
+		t.Fatalf("canonical round trip should have no dups/loops: %+v", st)
+	}
+	// Error paths carry the file name.
+	if err := os.WriteFile(edgePath, []byte("1 2\nbroken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadSNAP(edgePath, attrPath, StreamConfig{SpillDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "g.snap") || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want file+line error, got %v", err)
+	}
+}
+
+// TestStreamPeakUnderTwiceCSR exercises the headline claim at test
+// scale: with a bounded in-memory edge budget the deterministic peak
+// stays under 2x the final CSR bytes on a graph whose edge list
+// wouldn't fit that budget.
+func TestStreamPeakUnderTwiceCSR(t *testing.T) {
+	r := rng.New(31337)
+	n := 3000
+	sb := NewStreamBuilder(StreamConfig{ChunkEdges: 1 << 10, MaxMemEdges: 1 << 12, SpillDir: t.TempDir()})
+	for i := 0; i < 60000; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if err := sb.AddEdge(int64(u), int64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, st, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunsSpilled == 0 {
+		t.Fatalf("instance too small to spill: %+v", st)
+	}
+	if ratio := float64(st.PeakTrackedBytes) / float64(st.CSRBytes); ratio >= 2.0 {
+		t.Fatalf("peak/CSR ratio %.2f >= 2.0 (%+v)", ratio, st)
+	}
+}
+
+func TestStreamBuilderDeterministic(t *testing.T) {
+	build := func() (*Graph, *StreamStats) {
+		r := rng.New(555)
+		sb := NewStreamBuilder(StreamConfig{ChunkEdges: 32, MaxMemEdges: 64, SpillDir: t.TempDir()})
+		for i := 0; i < 2000; i++ {
+			if err := sb.AddEdge(int64(r.Intn(150)), int64(r.Intn(150))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, st, err := sb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, st
+	}
+	g1, st1 := build()
+	g2, st2 := build()
+	sameGraph(t, g1, g2)
+	if fmt.Sprintf("%+v", st1) != fmt.Sprintf("%+v", st2) {
+		t.Fatalf("stats not deterministic:\n%+v\n%+v", st1, st2)
+	}
+}

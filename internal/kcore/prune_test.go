@@ -1,0 +1,56 @@
+package kcore
+
+import (
+	"testing"
+
+	"fairclique/internal/graph"
+)
+
+func TestFairnessFloor(t *testing.T) {
+	cases := [][2]int32{{-1, 1}, {0, 1}, {1, 1}, {2, 3}, {4, 7}, {10, 19}}
+	for _, c := range cases {
+		if got := FairnessFloor(c[0]); got != c[1] {
+			t.Fatalf("FairnessFloor(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestFairCliquePrune(t *testing.T) {
+	// A balanced K6 (core number 5) with a pendant path hanging off it.
+	b := graph.NewBuilder(9)
+	for v := int32(0); v < 6; v++ {
+		b.SetAttr(v, graph.Attr(v%2))
+	}
+	for u := int32(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	g := b.Build()
+
+	// k=3 → floor 5: exactly the K6 survives.
+	alive, st := FairCliquePrune(g, 3)
+	if st.Threshold != 5 || st.Survivors != 6 || st.SurvivorEdges != 15 {
+		t.Fatalf("k=3 prune stats %+v", st)
+	}
+	for v := int32(0); v < 9; v++ {
+		if alive[v] != (v < 6) {
+			t.Fatalf("k=3: vertex %d alive=%v", v, alive[v])
+		}
+	}
+
+	// k=1 → floor 1: everything with an edge survives.
+	_, st = FairCliquePrune(g, 1)
+	if st.Survivors != 9 {
+		t.Fatalf("k=1 should keep the path: %+v", st)
+	}
+
+	// k=4 → floor 7: nothing survives.
+	_, st = FairCliquePrune(g, 4)
+	if st.Survivors != 0 || st.SurvivorEdges != 0 {
+		t.Fatalf("k=4 should clear the graph: %+v", st)
+	}
+}

@@ -44,7 +44,8 @@ type CacheStats struct {
 // A Cache is safe for concurrent use; concurrent builds are serialized
 // so each distinct k runs its pipeline exactly once.
 type Cache struct {
-	g *graph.Graph
+	g       *graph.Graph
+	workers int
 
 	mu    sync.Mutex
 	snaps map[int32]*Snapshot
@@ -55,6 +56,16 @@ type Cache struct {
 // mutated afterwards.
 func NewCache(g *graph.Graph) *Cache {
 	return &Cache{g: g, snaps: make(map[int32]*Snapshot)}
+}
+
+// SetWorkers sets the worker bound the cache's pipeline runs fan
+// components across (<= 1 means serial). The parallel path is
+// bit-identical to the serial one, so this only affects wall-clock.
+// Clones made by PatchedClone inherit the setting.
+func (c *Cache) SetWorkers(w int) {
+	c.mu.Lock()
+	c.workers = w
+	c.mu.Unlock()
 }
 
 // Get returns the reduction snapshot for size constraint k (k >= 1),
@@ -79,11 +90,11 @@ func (c *Cache) Get(k int32) *Snapshot {
 	c.stats.Builds++
 	var snap *Snapshot
 	if base == nil {
-		sub, stages := Pipeline(c.g, k)
+		sub, stages := PipelineN(c.g, k, c.workers)
 		snap = &Snapshot{Sub: sub, Stages: stages}
 	} else {
 		c.stats.Chained++
-		sub, stages := Pipeline(base.Sub.G, k)
+		sub, stages := PipelineN(base.Sub.G, k, c.workers)
 		sub.ToParent = chain(base.Sub.ToParent, sub.ToParent)
 		snap = &Snapshot{Sub: sub, Stages: stages}
 	}

@@ -1,0 +1,125 @@
+package reduce
+
+import (
+	"testing"
+
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+// multiComponent builds a disjoint union of random blobs so the
+// component fan-out actually has components to fan.
+func multiComponent(seed uint64, blobs, blobN int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(blobs * blobN)
+	for v := 0; v < blobs*blobN; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for c := 0; c < blobs; c++ {
+		base := c * blobN
+		for u := 0; u < blobN; u++ {
+			for v := u + 1; v < blobN; v++ {
+				if r.Bool(p) {
+					b.AddEdge(int32(base+u), int32(base+v))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// identicalSub fails unless two reduction results are bit-identical:
+// same subgraph structure, attributes and parent mapping.
+func identicalSub(t *testing.T, label string, want, got *graph.Subgraph) {
+	t.Helper()
+	if want.G.N() != got.G.N() || want.G.M() != got.G.M() {
+		t.Fatalf("%s: size mismatch: serial n=%d m=%d, parallel n=%d m=%d",
+			label, want.G.N(), want.G.M(), got.G.N(), got.G.M())
+	}
+	for i := range want.ToParent {
+		if want.ToParent[i] != got.ToParent[i] {
+			t.Fatalf("%s: ToParent[%d] = %d vs %d", label, i, want.ToParent[i], got.ToParent[i])
+		}
+	}
+	for v := int32(0); v < want.G.N(); v++ {
+		if want.G.Attr(v) != got.G.Attr(v) {
+			t.Fatalf("%s: attr mismatch at %d", label, v)
+		}
+	}
+	for e := int32(0); e < want.G.M(); e++ {
+		wu, wv := want.G.Edge(e)
+		gu, gv := got.G.Edge(e)
+		if wu != gu || wv != gv {
+			t.Fatalf("%s: edge %d = (%d,%d) vs (%d,%d)", label, e, wu, wv, gu, gv)
+		}
+	}
+}
+
+// TestPipelineNBitIdentical fuzzes the component-parallel reducer
+// against the serial path: every workers value must produce the same
+// snapshot bit for bit, including stage statistics.
+func TestPipelineNBitIdentical(t *testing.T) {
+	graphs := []*graph.Graph{
+		multiComponent(1, 8, 14, 0.5),
+		multiComponent(2, 16, 9, 0.6),
+		multiComponent(3, 3, 30, 0.25),
+		random(4, 60, 0.2), // likely one giant component
+		plantClique(5, 50, 3),
+		graph.NewBuilder(0).Build(),
+	}
+	for gi, g := range graphs {
+		for k := int32(1); k <= 4; k++ {
+			serial, sst := PipelineN(g, k, 1)
+			for _, w := range []int{2, 3, 8} {
+				par, pst := PipelineN(g, k, w)
+				if len(sst) != len(pst) {
+					t.Fatalf("g%d k=%d w=%d: stage count %d vs %d", gi, k, w, len(sst), len(pst))
+				}
+				for i := range sst {
+					if sst[i] != pst[i] {
+						t.Fatalf("g%d k=%d w=%d: stage %d stats %+v vs %+v", gi, k, w, i, sst[i], pst[i])
+					}
+				}
+				identicalSub(t, "pipeline", serial, par)
+			}
+		}
+	}
+}
+
+// TestCacheWorkersBitIdentical checks the cache path (chained builds
+// included) is unaffected by the worker bound.
+func TestCacheWorkersBitIdentical(t *testing.T) {
+	g := multiComponent(7, 10, 12, 0.5)
+	serial := NewCache(g)
+	par := NewCache(g)
+	par.SetWorkers(4)
+	for _, k := range []int32{1, 3, 2, 4} { // out of order: exercises chaining
+		identicalSub(t, "cache", serial.Get(k).Sub, par.Get(k).Sub)
+	}
+}
+
+// TestPatchedCloneWorkersBitIdentical checks the dirty-region re-pipe
+// inside PatchedClone is workers-invariant too.
+func TestPatchedCloneWorkersBitIdentical(t *testing.T) {
+	g := multiComponent(11, 6, 14, 0.55)
+	serial := NewCache(g)
+	par := NewCache(g)
+	par.SetWorkers(4)
+	for k := int32(1); k <= 3; k++ {
+		serial.Get(k)
+		par.Get(k)
+	}
+	d := &graph.Delta{
+		AddEdges: [][2]int32{{0, 15}, {1, 29}},
+		DelEdges: [][2]int32{{2, 3}},
+	}
+	newG, info, err := graph.ApplyDelta(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := serial.PatchedClone(newG, info)
+	pp, _ := par.PatchedClone(newG, info)
+	for k := int32(1); k <= 3; k++ {
+		identicalSub(t, "patched", ps.Get(k).Sub, pp.Get(k).Sub)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"fairclique/internal/graph"
+	"fairclique/internal/kcore"
 )
 
 // This file implements the dynamic half of the cache: when the session
@@ -40,6 +41,15 @@ type PatchStats struct {
 	// SnapshotsPatched counts cached k values re-piped on their dirty
 	// region only.
 	SnapshotsPatched int64
+	// SnapshotsRippled counts cached k values updated by the delete-only
+	// incremental peel (no pipeline run at all).
+	SnapshotsRippled int64
+	// RippleVisited is the total number of distinct snapshot vertices the
+	// ripple peels examined; RippleDirty is the total size of the dirty
+	// components a full re-pipe would have re-processed instead. Visited
+	// being a strict subset of dirty is the point of the ripple.
+	RippleVisited int64
+	RippleDirty   int64
 }
 
 // PatchedClone derives the reduction cache of the post-delta graph newG
@@ -70,24 +80,20 @@ func (c *Cache) PatchedClone(newG *graph.Graph, info *graph.ApplyInfo) (*Cache, 
 	}
 
 	out := NewCache(newG)
+	out.workers = c.workers
 	var st PatchStats
 	for k, snap := range snaps {
-		patched, reused := patchSnapshot(newG, snap, info, insRegion, k)
-		out.snaps[k] = patched
-		if reused {
-			st.SnapshotsReused++
-		} else {
-			st.SnapshotsPatched++
-		}
+		out.snaps[k] = patchSnapshot(newG, snap, info, insRegion, k, c.workers, &st)
 	}
 	return out, st
 }
 
 // patchSnapshot rebuilds one per-k snapshot for newG, keeping the
 // survivors of untouched components verbatim and re-running the
-// pipeline only on the dirty region. reused reports that the old
-// snapshot was returned as-is.
-func patchSnapshot(newG *graph.Graph, snap *Snapshot, info *graph.ApplyInfo, insRegion []int32, k int32) (*Snapshot, bool) {
+// pipeline only on the dirty region (or, for delete-only deltas,
+// ripple-peeling inside the dirty components without any pipeline
+// work). Folds what it did into st.
+func patchSnapshot(newG *graph.Graph, snap *Snapshot, info *graph.ApplyInfo, insRegion []int32, k int32, workers int, st *PatchStats) *Snapshot {
 	sub := snap.Sub
 	comps := graph.ConnectedComponents(sub.G)
 	cleanSub := make([]bool, sub.G.N())
@@ -113,7 +119,19 @@ func patchSnapshot(newG *graph.Graph, snap *Snapshot, info *graph.ApplyInfo, ins
 		// No endpoint touches the snapshot and nothing was inserted: the
 		// old snapshot graph is bit-identical to what a rebuild would
 		// induce (deletions outside the survivor set cannot reach it).
-		return snap, true
+		st.SnapshotsReused++
+		return snap
+	}
+	if len(info.Inserted) == 0 {
+		// Delete-only delta: no pipeline run is needed at all. The old
+		// snapshot minus the deleted edges is still VALID (deletions only
+		// destroy fair cliques, never create them), so a k-core-style
+		// ripple from the deleted edges' endpoints at the fairness floor
+		// 2k-1 re-peels exactly the vertices the deletion can have
+		// weakened — a strict subset of the dirty components — instead of
+		// re-piping them wholesale. New vertices (if any) are isolated and
+		// never belong in a snapshot.
+		return rippleSnapshot(snap, info, k, dirty, st)
 	}
 
 	// Dirty region: touched components' survivors plus the inserted
@@ -131,7 +149,8 @@ func patchSnapshot(newG *graph.Graph, snap *Snapshot, info *graph.ApplyInfo, ins
 	}
 	sort.Slice(regionIDs, func(i, j int) bool { return regionIDs[i] < regionIDs[j] })
 
-	fresh, stages := Pipeline(graph.Induce(newG, regionIDs).G, k)
+	st.SnapshotsPatched++
+	fresh, stages := PipelineN(graph.Induce(newG, regionIDs).G, k, workers)
 	// fresh ids index regionIDs (Induce preserves order), so chain back
 	// to original ids and union with the clean survivors.
 	survivors := make([]int32, 0, len(clean)+int(fresh.G.N()))
@@ -178,5 +197,101 @@ func patchSnapshot(newG *graph.Graph, snap *Snapshot, info *graph.ApplyInfo, ins
 		b.AddEdge(toNew[regionIDs[fresh.ToParent[u]]], toNew[regionIDs[fresh.ToParent[v]]])
 	}
 	spliced := &graph.Subgraph{G: b.Build(), ToParent: uniq}
-	return &Snapshot{Sub: spliced, Stages: stages}, false
+	return &Snapshot{Sub: spliced, Stages: stages}
+}
+
+// rippleSnapshot applies a delete-only delta to one snapshot by
+// incremental peeling: subtract the deleted edges that are present in
+// the snapshot, then peel from their endpoints with the classic
+// fairness-floor threshold (a vertex of a fair clique with both counts
+// >= k keeps degree >= 2k-1), cascading only through vertices that
+// actually drop below the floor. The result stays valid for every
+// bound config — less minimal than a fresh pipeline, which the
+// snapshot contract explicitly allows. The carried Stages sizes become
+// (slightly stale) upper bounds.
+func rippleSnapshot(snap *Snapshot, info *graph.ApplyInfo, k int32, dirty []int32, st *PatchStats) *Snapshot {
+	sub := snap.Sub
+	n := sub.G.N()
+	toSub := make(map[int32]int32, n)
+	for i, orig := range sub.ToParent {
+		toSub[orig] = int32(i)
+	}
+
+	vAlive := make([]bool, n)
+	for i := range vAlive {
+		vAlive[i] = true
+	}
+	eAlive := make([]bool, sub.G.M())
+	for i := range eAlive {
+		eAlive[i] = true
+	}
+	deg := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		deg[v] = sub.G.Deg(v)
+	}
+
+	var queue []int32
+	inQ := make([]bool, n)  // dedup while queued
+	seen := make([]bool, n) // distinct-vertex accounting
+	push := func(v int32) {
+		if !seen[v] {
+			seen[v] = true
+			st.RippleVisited++
+		}
+		if !inQ[v] {
+			inQ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	removed := false
+	for _, de := range info.Deleted {
+		su, ok1 := toSub[de[0]]
+		sv, ok2 := toSub[de[1]]
+		if !ok1 || !ok2 {
+			continue
+		}
+		eid, ok := sub.G.EdgeID(su, sv)
+		if !ok || !eAlive[eid] {
+			continue
+		}
+		eAlive[eid] = false
+		deg[su]--
+		deg[sv]--
+		removed = true
+		push(su)
+		push(sv)
+	}
+	st.SnapshotsRippled++
+	st.RippleDirty += int64(len(dirty))
+	if !removed {
+		// Every deleted edge had already been peeled out of this
+		// snapshot (the endpoints merely touch it), so it is unchanged.
+		return snap
+	}
+
+	floor := kcore.FairnessFloor(k)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		inQ[v] = false // allow re-examination after later decrements
+		if !vAlive[v] || deg[v] >= floor {
+			continue
+		}
+		vAlive[v] = false
+		nbrs := sub.G.Neighbors(v)
+		for i, eid := range sub.G.IncidentEdges(v) {
+			if !eAlive[eid] {
+				continue
+			}
+			eAlive[eid] = false
+			w := nbrs[i]
+			deg[w]--
+			if vAlive[w] {
+				push(w)
+			}
+		}
+	}
+
+	out := graph.InduceAlive(sub.G, vAlive, eAlive)
+	out.ToParent = chain(sub.ToParent, out.ToParent)
+	return &Snapshot{Sub: out, Stages: snap.Stages}
 }

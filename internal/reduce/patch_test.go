@@ -70,8 +70,9 @@ func TestPatchedClonePreservesOptima(t *testing.T) {
 			t.Fatal(err)
 		}
 		patched, st := c.PatchedClone(newG, info)
-		if st.SnapshotsPatched+st.SnapshotsReused != 3 {
-			t.Fatalf("trial %d: %d+%d snapshots accounted, want 3", trial, st.SnapshotsPatched, st.SnapshotsReused)
+		if st.SnapshotsPatched+st.SnapshotsReused+st.SnapshotsRippled != 3 {
+			t.Fatalf("trial %d: %d+%d+%d snapshots accounted, want 3",
+				trial, st.SnapshotsPatched, st.SnapshotsReused, st.SnapshotsRippled)
 		}
 		// Clean components must carry over edge-exactly: the patch may
 		// not restore edges the original pipeline peeled, nor lose any.

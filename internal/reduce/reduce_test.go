@@ -321,8 +321,11 @@ func TestPipeline(t *testing.T) {
 	k := 3
 	g := plantClique(7, 60, k)
 	sub, stats := Pipeline(g, int32(k))
-	if len(stats) != 3 {
+	if len(stats) != 4 {
 		t.Fatalf("%d stages", len(stats))
+	}
+	if stats[0].Name != "DegeneracyPrune" {
+		t.Fatalf("stage 0 = %q, want the degeneracy pre-prune", stats[0].Name)
 	}
 	for i := 1; i < len(stats); i++ {
 		if stats[i].Edges > stats[i-1].Edges || stats[i].Vertices > stats[i-1].Vertices {

@@ -126,8 +126,16 @@ func TestApplyReusesUntouchedComponents(t *testing.T) {
 	if ast.CompPrepsReused != 1 {
 		t.Fatalf("adopted %d compPreps, want 1 (the built untouched K6): %+v", ast.CompPrepsReused, ast)
 	}
-	if ast.SnapshotsPatched != 1 {
-		t.Fatalf("patched %d snapshots, want 1: %+v", ast.SnapshotsPatched, ast)
+	// A delete-only delta is served by the incremental ripple peel, not
+	// a dirty-region re-pipe.
+	if ast.SnapshotsRippled != 1 || ast.SnapshotsPatched != 0 {
+		t.Fatalf("rippled %d / patched %d snapshots, want 1/0: %+v",
+			ast.SnapshotsRippled, ast.SnapshotsPatched, ast)
+	}
+	// The ripple must have examined a strict subset of the dirty K6.
+	if ast.RippleVisited <= 0 || ast.RippleVisited >= ast.RippleDirty {
+		t.Fatalf("ripple visited %d of %d dirty vertices, want a strict nonempty subset: %+v",
+			ast.RippleVisited, ast.RippleDirty, ast)
 	}
 	res, err := s.Find(Query{K: 1, Delta: 5})
 	if err != nil {

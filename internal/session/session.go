@@ -164,8 +164,14 @@ type Stats struct {
 	Applies, Epoch int64
 	// SnapshotsPatched and SnapshotsReused count per-k reduction
 	// snapshots that an Apply re-piped on their dirty region versus
-	// carried over verbatim.
+	// carried over verbatim; SnapshotsRippled counts delete-only
+	// applies served by the incremental peel (no pipeline run).
 	SnapshotsPatched, SnapshotsReused int64
+	SnapshotsRippled                  int64
+	// RippleVisited/RippleDirty: distinct vertices the incremental
+	// peels examined vs the dirty-component vertices a full re-pipe
+	// would have re-processed (visited is a subset of dirty).
+	RippleVisited, RippleDirty int64
 	// CompPrepsReused counts per-component prepared machinery
 	// (relabeling, successor masks, arenas) adopted across an Apply
 	// instead of being rebuilt — the component-scoped invalidation
@@ -240,6 +246,9 @@ func New(g *graph.Graph, opt Options) *Session {
 	e := &epoch{g: g, preps: make(map[int32]*prepEntry)}
 	if !opt.SkipReduction {
 		e.reds = reduce.NewCache(g)
+		// Fan reduction components across the session's worker bound;
+		// the parallel pipeline is bit-identical to the serial one.
+		e.reds.SetWorkers(opt.Workers)
 	}
 	s.cur.Store(e)
 	return s
@@ -589,8 +598,13 @@ type ApplyStats struct {
 	// size (deduplicated against the pre-delta graph).
 	InsertedEdges, DeletedEdges, NewVertices int
 	// SnapshotsPatched/SnapshotsReused count per-k reduction snapshots
-	// re-piped on their dirty region vs carried over verbatim.
+	// re-piped on their dirty region vs carried over verbatim;
+	// SnapshotsRippled counts snapshots updated by the delete-only
+	// incremental peel, which examined RippleVisited of RippleDirty
+	// dirty-component vertices.
 	SnapshotsPatched, SnapshotsReused int64
+	SnapshotsRippled                  int64
+	RippleVisited, RippleDirty        int64
 	// CompPrepsReused counts adopted per-component machinery.
 	CompPrepsReused int64
 	// PoolRetained/PoolDropped count surviving vs destroyed warm-start
@@ -633,6 +647,8 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 	if old.reds != nil {
 		ne.reds, pst = old.reds.PatchedClone(newG, info)
 		ast.SnapshotsPatched, ast.SnapshotsReused = pst.SnapshotsPatched, pst.SnapshotsReused
+		ast.SnapshotsRippled = pst.SnapshotsRippled
+		ast.RippleVisited, ast.RippleDirty = pst.RippleVisited, pst.RippleDirty
 	}
 
 	// The insertion floor for the monotonicity table: any clique the
@@ -707,6 +723,9 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 	s.stats.Applies++
 	s.stats.SnapshotsPatched += pst.SnapshotsPatched
 	s.stats.SnapshotsReused += pst.SnapshotsReused
+	s.stats.SnapshotsRippled += pst.SnapshotsRippled
+	s.stats.RippleVisited += pst.RippleVisited
+	s.stats.RippleDirty += pst.RippleDirty
 	s.stats.CompPrepsReused += ast.CompPrepsReused
 	s.stats.PoolRetained += ast.PoolRetained
 	s.stats.PoolDropped += ast.PoolDropped
