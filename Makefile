@@ -21,7 +21,7 @@ MIN_SPEEDUP ?= 0
 # twice"). Unlike the speedup gate it is enforceable on any machine.
 MEM_RATIO ?= 0
 
-.PHONY: build test test-race race bench bench-check bench-parallel bench-ingest bench-full
+.PHONY: build test test-race race bench bench-check bench-parallel bench-ingest bench-full serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,14 @@ test:
 	$(GO) test ./...
 
 # The engine's parallel paths — root split, subtree work donation, the
-# chunked-row kernels and the session's concurrent grid — under the
-# race detector.
+# chunked-row kernels, the session's concurrent grid, the serve layer
+# (registry, write buffer, cache, admission gate) and the public
+# Graph's lazy freeze — under the race detector. The root package runs
+# only its concurrency hammers (the oracle suites are too slow for
+# -race and have no shared state to race on).
 test-race:
-	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce ./internal/sched
+	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce ./internal/sched ./internal/serve
+	$(GO) test -race -run 'Concurrent|SnapshotVsApply' .
 
 race: test-race
 
@@ -47,7 +51,10 @@ race: test-race
 # static split vs shared work-stealing pool) embedded under "sched",
 # and the paper-scale ingest experiment (streaming CSR build from SNAP
 # text, degeneracy pre-prune, component-parallel reduction on the
-# ~2.2M-edge IngestGiant instance) embedded under "ingest".
+# ~2.2M-edge IngestGiant instance) embedded under "ingest", and the
+# daemon load experiment (concurrent clients against the in-process
+# serve handler — qps, p50/p99, cache hit rate, epoch churn) embedded
+# under "serve".
 # Future engine PRs compare against the committed record (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
@@ -55,6 +62,7 @@ bench:
 	$(GO) run ./cmd/benchmark -exp delta -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp sched -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp ingest -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp serve -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a
@@ -89,6 +97,17 @@ bench-parallel:
 bench-ingest:
 	@mkdir -p $(BENCH_OUT_DIR)
 	$(GO) run ./cmd/benchmark -exp ingest -scale $(BENCH_SCALE) -min-speedup $(MIN_SPEEDUP) -max-mem-ratio $(MEM_RATIO) -graph-dir $(BENCH_OUT_DIR)/instance -out $(BENCH_OUT_DIR)/BENCH_ingest.new.json
+
+# Boot the real mfcd binary on a random port and walk every endpoint
+# with curl: upload, rejected garbage, query (fresh + cached), grid,
+# buffered mutation + flush barrier, metrics, blacklist, delete. Hard
+# fails on any unexpected status and on the differential check (a
+# graph mutated through deltas must answer exactly like the same graph
+# uploaded fresh). The transcript lands in
+# $(BENCH_OUT_DIR)/serve-smoke/smoke.log (a CI artifact).
+serve-smoke:
+	@mkdir -p $(BENCH_OUT_DIR)/serve-smoke
+	OUT_DIR=$(BENCH_OUT_DIR)/serve-smoke sh scripts/serve_smoke.sh
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

@@ -1,7 +1,7 @@
 // Ablation benchmarks for the design choices called out in DESIGN.md:
 // what each reduction stage buys, how deep the expensive bounds should
 // be evaluated, and what component-level parallelism contributes.
-package fairclique
+package fairclique_test
 
 import (
 	"fmt"

@@ -10,11 +10,12 @@
 //	go test -bench=. -benchmem
 //
 // or print the paper-style tables with cmd/benchmark.
-package fairclique
+package fairclique_test
 
 import (
 	"testing"
 
+	"fairclique"
 	"fairclique/internal/bench"
 	"fairclique/internal/bounds"
 	"fairclique/internal/core"
@@ -184,7 +185,7 @@ func BenchmarkFig10_CaseStudies(b *testing.B) {
 func BenchmarkFindPublicAPI(b *testing.B) {
 	d, _ := gen.DatasetByName("dblp-sim")
 	ig := d.Build(benchScale)
-	g := NewGraph(int(ig.N()))
+	g := fairclique.NewGraph(int(ig.N()))
 	for v := int32(0); v < ig.N(); v++ {
 		g.SetAttr(int(v), ig.Attr(v))
 	}
@@ -194,7 +195,7 @@ func BenchmarkFindPublicAPI(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Find(g, DefaultOptions(d.DefaultK, d.DefaultDelta)); err != nil {
+		if _, err := fairclique.Find(g, fairclique.DefaultOptions(d.DefaultK, d.DefaultDelta)); err != nil {
 			b.Fatal(err)
 		}
 	}

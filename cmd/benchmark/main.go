@@ -10,7 +10,7 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. Five extra experiments always emit JSON
+// casestudies, ablation, all. Six extra experiments always emit JSON
 // and feed BENCH_core.json, the repo's perf trajectory: "core"
 // benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
 // single-giant-component graph), "grid" measures the multi-query
@@ -27,8 +27,11 @@
 // reproducible multi-million-edge instance (-max-mem-ratio gates the
 // deterministic streaming high-water against the final CSR bytes,
 // -min-speedup gates parallel-over-serial reduction, -graph-dir caches
-// the generated SNAP pair). Use -merge BENCH_core.json to embed the
-// records; `make bench` runs all five.
+// the generated SNAP pair), and "serve" load-tests the mfcd daemon's
+// handler in process: concurrent query clients plus a mutator against
+// one registered graph — qps, p50/p99 latency, result-cache hit rate,
+// epoch churn and a served-vs-fresh differential. Use -merge
+// BENCH_core.json to embed the records; `make bench` runs all six.
 package main
 
 import (
@@ -111,6 +114,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: sched scheduler bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "serve" {
+		// The daemon load experiment: an in-process load generator
+		// drives the serve handler with concurrent query clients and a
+		// mutator — qps, p50/p99, cache hit rate, epoch churn, plus a
+		// served-vs-fresh differential. JSON-only; -merge embeds it
+		// under "serve".
+		if err := bench.WriteServeBench(cfg, w, *merge); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: serve daemon bench finished in %v\n", time.Since(start))
 		return
 	}
 	if *exp == "ingest" {

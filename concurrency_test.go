@@ -1,0 +1,165 @@
+package fairclique
+
+import (
+	"sync"
+	"testing"
+)
+
+// buildDiamondGraph returns a small graph with a known (2,0) optimum:
+// a balanced K4 plus a pendant vertex.
+func buildDiamondGraph() *Graph {
+	g := NewGraph(5)
+	g.SetAttr(0, AttrA)
+	g.SetAttr(1, AttrA)
+	g.SetAttr(2, AttrB)
+	g.SetAttr(3, AttrB)
+	g.SetAttr(4, AttrA)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	g.AddEdge(3, 4)
+	return g
+}
+
+// TestGraphConcurrentReaders hammers the read-only accessors from many
+// goroutines on a graph whose frozen snapshot has NOT been built yet,
+// so every reader races to lazily initialize it. On the pre-fix code
+// (unsynchronized g.frozen write in freeze()) this test fails under
+// `go test -race`; with the mutex-guarded freeze all readers must share
+// one snapshot and agree on every answer.
+func TestGraphConcurrentReaders(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		g := buildDiamondGraph() // fresh: frozen == nil, all readers race the init
+		const readers = 16
+		var wg sync.WaitGroup
+		errs := make(chan string, readers)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if m := g.M(); m != 7 {
+						errs <- "M mismatch"
+						return
+					}
+					if !g.HasEdge(0, 1) || g.HasEdge(0, 4) {
+						errs <- "HasEdge mismatch"
+						return
+					}
+					if n := g.Neighbors(3); len(n) != 4 {
+						errs <- "Neighbors mismatch"
+						return
+					}
+					if g.Attr(2) != AttrB {
+						errs <- "Attr mismatch"
+						return
+					}
+					if g.Degree(4) != 1 {
+						errs <- "Degree mismatch"
+						return
+					}
+					if !g.IsFairClique([]int{0, 1, 2, 3}, 2, 0) {
+						errs <- "IsFairClique mismatch"
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+}
+
+// TestGraphConcurrentFinds runs full queries concurrently on a freshly
+// mutated graph (frozen invalidated), exercising freeze() under racing
+// Find/Heuristic/Enumerate callers.
+func TestGraphConcurrentFinds(t *testing.T) {
+	g := buildDiamondGraph()
+	g.AddEdge(2, 4) // invalidate any snapshot; readers below re-freeze
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Find(g, DefaultOptions(2, 0))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Size() != 4 {
+				t.Errorf("concurrent Find: size %d, want 4", res.Size())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSessionSnapshotVsApply pins the documented NewSession contract
+// from the mutation side (TestSessionSnapshotSemantics covers the
+// read side): mutating the Graph object after NewSession changes
+// future Find calls on the Graph but never the session's answers,
+// while the same mutation routed through Session.Apply is observed
+// and matches the direct post-mutation answer exactly.
+func TestSessionSnapshotVsApply(t *testing.T) {
+	g := buildDiamondGraph()
+	s := NewSession(g)
+	spec := QuerySpec{K: 2, Delta: 0}
+
+	before, err := s.Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size() != 4 {
+		t.Fatalf("pre-mutation session optimum %d, want 4", before.Size())
+	}
+
+	// Grow the graph object into a balanced K6: vertex 4 (a) joins the
+	// K4, and a new b-vertex joins everything.
+	g.AddEdge(0, 4)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 4)
+	w := g.AddVertex(AttrB)
+	for v := 0; v < w; v++ {
+		g.AddEdge(v, w)
+	}
+
+	direct, err := Find(g, DefaultOptions(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Size() != 6 {
+		t.Fatalf("post-mutation direct optimum %d, want 6", direct.Size())
+	}
+
+	after, err := s.Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != 4 {
+		t.Fatalf("session observed Graph mutation: optimum %d, want the snapshot's 4", after.Size())
+	}
+	if s.N() != 5 {
+		t.Fatalf("session vertex count %d, want the snapshot's 5", s.N())
+	}
+
+	// The supported mutation path: the same growth through Apply is
+	// observed, and matches the direct post-mutation answer.
+	if _, err := s.Apply(Delta{
+		AddVertices: []Attr{AttrB},
+		AddEdges:    [][2]int{{0, 4}, {1, 4}, {2, 4}, {0, 5}, {1, 5}, {2, 5}, {3, 5}, {4, 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := s.Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Size() != direct.Size() {
+		t.Fatalf("Apply-mutated session optimum %d, direct %d", applied.Size(), direct.Size())
+	}
+}

@@ -1,0 +1,90 @@
+// Serve: boot the mfcd daemon's HTTP handler in process and drive it
+// like a remote client — create a graph, query it (watching the result
+// cache), buffer mutations, and read the metrics. The same handler is
+// what `cmd/mfcd` listens with; here it runs on a loopback test server
+// so the example is self-contained.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"fairclique/internal/serve"
+)
+
+func main() {
+	srv := serve.New(serve.Config{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, contentType, body string) map[string]any {
+		resp, err := http.Post(ts.URL+path, contentType, strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			log.Fatalf("POST %s: %d: %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	// Upload a graph: a balanced K4 (2 seniors a, 2 juniors b) plus a
+	// pendant senior.
+	post("/graphs?name=team", "text/plain", `
+v 0 a
+v 1 a
+v 2 b
+v 3 b
+v 4 a
+e 0 1
+e 0 2
+e 0 3
+e 1 2
+e 1 3
+e 2 3
+e 0 4
+`)
+
+	// Query: at least 2 of each attribute, perfectly balanced (δ=0).
+	q := `{"k":2,"delta":0}`
+	r1 := post("/graphs/team/query", "application/json", q)
+	fmt.Printf("first query: size %v, cached=%v, epoch %v\n", r1["size"], r1["cached"], r1["epoch"])
+
+	// The same cell again is a cache hit — no search runs.
+	r2 := post("/graphs/team/query", "application/json", q)
+	fmt.Printf("second query: size %v, cached=%v\n", r2["size"], r2["cached"])
+
+	// Mutations buffer between queries: wire the pendant into the K4.
+	// Nothing is applied yet — the epoch is unchanged.
+	m := post("/graphs/team/mutate", "text/plain", "+e:4:1 +e:4:2 +e:4:3")
+	fmt.Printf("mutate: buffered_ops=%v at epoch %v\n", m["buffered_ops"], m["epoch"])
+
+	// The next query flushes the buffer first (one Session.Apply for
+	// the whole batch), bumps the epoch, and sees the bigger clique.
+	r3 := post("/graphs/team/query", "application/json", `{"k":2,"delta":1}`)
+	fmt.Printf("after flush: size %v at epoch %v\n", r3["size"], r3["epoch"])
+
+	// Metrics: cache counters, admission gate, per-graph epoch gauge.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var met serve.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: cache hits %d / misses %d, graph epoch %d, flushes %d\n",
+		met.CacheHits, met.CacheMisses, met.Graphs["team"].Epoch, met.Graphs["team"].Flushes)
+}

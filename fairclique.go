@@ -42,6 +42,7 @@ package fairclique
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/core"
@@ -85,8 +86,27 @@ const (
 // Graph is a mutable attributed graph. Build it up with AddVertex /
 // SetAttr / AddEdge, then query it with Find and friends. Mutations
 // after a query are allowed; the next query re-freezes the graph.
+//
+// # Concurrency
+//
+// Read-only methods (M, Attr, Degree, HasEdge, Neighbors, IsFairClique,
+// Find and the other query entry points) are safe to call from any
+// number of goroutines simultaneously: the lazily built frozen snapshot
+// they share is initialized under a mutex exactly once. Mutation
+// (AddVertex, SetAttr, AddEdge) is single-goroutine: it must not run
+// concurrently with any other method — reader or mutator — on the same
+// Graph. A long-lived concurrent workload should freeze the graph into
+// a Session (NewSession) and mutate through Session.Apply, which is
+// fully concurrent-safe.
 type Graph struct {
-	b      *graph.Builder
+	b *graph.Builder
+
+	// mu guards frozen. Mutators hold it only to invalidate; freeze
+	// holds it across the build so concurrent readers share one
+	// snapshot instead of racing the lazy init (the historical bug:
+	// two goroutines calling HasEdge on a never-frozen graph raced on
+	// the unsynchronized g.frozen write).
+	mu     sync.Mutex
 	frozen *graph.Graph // cache invalidated by mutation
 }
 
@@ -95,23 +115,36 @@ func NewGraph(n int) *Graph {
 	return &Graph{b: graph.NewBuilder(n)}
 }
 
-// AddVertex appends a vertex with the given attribute, returning its id.
+// AddVertex appends a vertex with the given attribute, returning its
+// id. Like all mutators it must not race any other method of g.
 func (g *Graph) AddVertex(a Attr) int {
-	g.frozen = nil
+	g.invalidate()
 	return int(g.b.AddVertex(a))
 }
 
-// SetAttr sets the attribute of vertex v.
+// SetAttr sets the attribute of vertex v. Like all mutators it must
+// not race any other method of g.
 func (g *Graph) SetAttr(v int, a Attr) {
-	g.frozen = nil
+	g.invalidate()
 	g.b.SetAttr(int32(v), a)
 }
 
 // AddEdge adds the undirected edge (u, v). Self-loops are ignored and
 // duplicates are deduplicated. Panics if an endpoint does not exist.
+// Like all mutators it must not race any other method of g.
 func (g *Graph) AddEdge(u, v int) {
-	g.frozen = nil
+	g.invalidate()
 	g.b.AddEdge(int32(u), int32(v))
+}
+
+// invalidate drops the frozen snapshot ahead of a mutation. Taking the
+// lock keeps the write ordered for any reader that slipped in between
+// two mutations; the mutation of the builder itself is still
+// single-goroutine by contract.
+func (g *Graph) invalidate() {
+	g.mu.Lock()
+	g.frozen = nil
+	g.mu.Unlock()
 }
 
 // N returns the number of vertices.
@@ -145,8 +178,12 @@ func (g *Graph) IsFairClique(s []int, k, delta int) bool {
 	return g.freeze().IsFairClique(toInt32(s), k, delta)
 }
 
-// freeze materializes the immutable snapshot queries run against.
+// freeze materializes the immutable snapshot queries run against. It
+// is safe for concurrent use: the first reader after a mutation builds
+// the snapshot under the lock and every concurrent reader shares it.
 func (g *Graph) freeze() *graph.Graph {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.frozen == nil {
 		g.frozen = g.b.Build()
 	}
@@ -189,6 +226,22 @@ func ReadSNAPFiles(edgePath, attrPath string) (*Graph, error) {
 // plain SNAP-style "<u> <v>" edge lines.
 func ReadGraph(r io.Reader) (*Graph, error) {
 	ig, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(ig), nil
+}
+
+// ReadLimits bounds ReadGraphLimited for untrusted input; zero fields
+// are unlimited. See graph.ReadLimits for field semantics.
+type ReadLimits = graph.ReadLimits
+
+// ReadGraphLimited parses a graph like ReadGraph but rejects input
+// exceeding lim with a line-numbered error instead of committing to an
+// arbitrarily large allocation. This is the parser the mfcd daemon
+// runs on uploaded graph bodies.
+func ReadGraphLimited(r io.Reader, lim ReadLimits) (*Graph, error) {
+	ig, err := graph.ReadWithLimits(r, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -525,6 +578,15 @@ type Session struct {
 
 // NewSession freezes g for repeated querying. At most one
 // SessionOptions value may be supplied; none means defaults.
+//
+// The session snapshots g at this call and never looks at the Graph
+// object again: mutating g afterwards (AddVertex / SetAttr / AddEdge)
+// does NOT affect the session, whose answers keep describing the
+// snapshot — there is no error and no divergence warning, by design,
+// because the builder-shaped Graph and the live Session are separate
+// lifecycles. Mutate the session's graph through Session.Apply; use
+// the Graph mutators only to build the next snapshot for a future
+// NewSession or Find. TestSessionSnapshotSemantics pins this contract.
 func NewSession(g *Graph, opts ...SessionOptions) *Session {
 	var o SessionOptions
 	if len(opts) > 0 {

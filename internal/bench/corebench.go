@@ -62,6 +62,11 @@ type CoreBenchResult struct {
 	// pre-prune → component-parallel reduction → search on the
 	// reproducible multi-million-edge instance.
 	Ingest *IngestBenchResult `json:"ingest,omitempty"`
+	// Serve, when present, is the daemon load experiment
+	// (`benchmark -exp serve`): concurrent HTTP clients against the
+	// in-process serve handler — qps, tail latency, cache hit rate and
+	// epoch churn.
+	Serve *ServeBenchResult `json:"serve,omitempty"`
 	// PeakAllocBytes is the sampled heap-allocation high-water mark
 	// across the measured engine runs (runtime.ReadMemStats).
 	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`

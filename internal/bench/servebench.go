@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fairclique"
+	"fairclique/internal/graph"
+	"fairclique/internal/serve"
+)
+
+// ServeBenchResult is the daemon load-test record merged into
+// BENCH_core.json under "serve": an in-process load generator drives
+// serve.Server's real HTTP handler (no sockets) with concurrent query
+// clients and one mutator client, reporting throughput, tail latency,
+// cache effectiveness and epoch churn.
+type ServeBenchResult struct {
+	Graph   CoreBenchGraph `json:"graph"`
+	Clients int            `json:"clients"`
+	// Requests is the total completed requests; Mutations the subset
+	// that were buffered mutations (the rest are queries).
+	Requests  int64   `json:"requests"`
+	Mutations int64   `json:"mutations"`
+	Seconds   float64 `json:"seconds"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	// CacheHitRate is hits/(hits+misses) of the bench graph's result
+	// cache over the run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// EpochChurn counts write-buffer flushes (= epoch bumps): every
+	// mutation burst costs one flush at the next query, not one per op.
+	EpochChurn int64 `json:"epoch_churn"`
+	// BufferedOpsPerFlush is mutations/flushes — the coalescing factor.
+	BufferedOpsPerFlush float64 `json:"buffered_ops_per_flush"`
+	// AnswerMatchesFresh is the differential receipt: after the storm
+	// the daemon's answer equals a from-scratch Find on the same graph.
+	AnswerMatchesFresh bool   `json:"answer_matches_fresh"`
+	PeakAllocBytes     uint64 `json:"peak_alloc_bytes"`
+}
+
+// publicGraph converts the internal benchmark instance to the public
+// builder the serve registry accepts.
+func publicGraph(ig *graph.Graph) *fairclique.Graph {
+	pg := fairclique.NewGraph(int(ig.N()))
+	for v := int32(0); v < ig.N(); v++ {
+		if ig.Attr(v) == graph.AttrB {
+			pg.SetAttr(int(v), fairclique.AttrB)
+		}
+	}
+	for e := int32(0); e < ig.M(); e++ {
+		u, v := ig.Edge(e)
+		pg.AddEdge(int(u), int(v))
+	}
+	return pg
+}
+
+// serveBenchClients is the concurrent client count; each runs
+// serveBenchRequests requests. Client 0 is the mutator: every
+// serveBenchMutateEvery-th request toggles a shell chord instead of
+// querying, so the run exercises flush-before-query and cache
+// invalidation under load, ending with the chord absent (the original
+// graph) for the differential check.
+const (
+	serveBenchClients     = 4
+	serveBenchRequests    = 64
+	serveBenchMutateEvery = 8
+)
+
+// ServeBench loads a serve.Server in process and measures it.
+func ServeBench(cfg Config) (res ServeBenchResult, err error) {
+	ig, desc := coreBenchInstance(cfg.scale())
+	res = ServeBenchResult{Graph: desc, Clients: serveBenchClients}
+	sampler := startPeakSampler()
+	defer func() { res.PeakAllocBytes = sampler.Stop() }()
+
+	srv := serve.New(serve.Config{MaxInFlight: serveBenchClients})
+	pg := publicGraph(ig)
+	if _, err := srv.Registry().Create("bench", pg); err != nil {
+		return res, err
+	}
+	handler := srv.Handler()
+	do := func(method, path, contentType, body string) (int, []byte) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes()
+	}
+
+	chord, _, err := deltaBenchEdges(ig)
+	if err != nil {
+		return res, err
+	}
+	cells := []string{
+		`{"k":2,"delta":2}`, `{"k":2,"delta":3}`, `{"k":3,"delta":2}`, `{"k":3,"delta":3}`,
+	}
+
+	// Warm the session once so the measured run is steady-state serving,
+	// not first-query preparation.
+	if code, body := do("POST", "/graphs/bench/query", "application/json", cells[0]); code != http.StatusOK {
+		return res, fmt.Errorf("serve bench warmup: status %d: %s", code, body)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < serveBenchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]float64, 0, serveBenchRequests)
+			var failed error
+			for i := 0; i < serveBenchRequests; i++ {
+				var code int
+				var body []byte
+				t0 := time.Now()
+				if c == 0 && i%serveBenchMutateEvery == serveBenchMutateEvery-1 {
+					op := fmt.Sprintf("+e:%d:%d", chord[0], chord[1])
+					if (i/serveBenchMutateEvery)%2 == 1 {
+						op = fmt.Sprintf("-e:%d:%d", chord[0], chord[1])
+					}
+					code, body = do("POST", "/graphs/bench/mutate", "text/plain", op)
+				} else {
+					code, body = do("POST", "/graphs/bench/query", "application/json", cells[(c+i)%len(cells)])
+				}
+				local = append(local, float64(time.Since(t0).Microseconds())/1000.0)
+				if code != http.StatusOK && failed == nil {
+					failed = fmt.Errorf("serve bench: client %d request %d: status %d: %s", c, i, code, body)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			if failed != nil && firstErr == nil {
+				firstErr = failed
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	res.Requests = int64(len(latencies))
+	res.Mutations = serveBenchRequests / serveBenchMutateEvery
+	res.QPS = float64(res.Requests) / res.Seconds
+	sort.Float64s(latencies)
+	res.P50Ms = latencies[len(latencies)/2]
+	res.P99Ms = latencies[min(len(latencies)-1, len(latencies)*99/100)]
+
+	// Counters from the daemon's own metrics endpoint.
+	code, body := do("GET", "/metrics", "", "")
+	if code != http.StatusOK {
+		return res, fmt.Errorf("serve bench: metrics status %d", code)
+	}
+	var met serve.MetricsResponse
+	if err := json.Unmarshal(body, &met); err != nil {
+		return res, err
+	}
+	gm := met.Graphs["bench"]
+	if total := gm.CacheHits + gm.CacheMisses; total > 0 {
+		res.CacheHitRate = float64(gm.CacheHits) / float64(total)
+	}
+	res.EpochChurn = gm.Flushes
+	if gm.Flushes > 0 {
+		res.BufferedOpsPerFlush = float64(res.Mutations) / float64(gm.Flushes)
+	}
+
+	// Differential: the mutator did an even number of toggles, so the
+	// graph is back to the original; the daemon's answer (the query
+	// flushes any trailing buffered toggle first) must equal a
+	// from-scratch Find.
+	code, body = do("POST", "/graphs/bench/query", "application/json", cells[0])
+	if code != http.StatusOK {
+		return res, fmt.Errorf("serve bench: final query status %d: %s", code, body)
+	}
+	var got serve.QueryResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		return res, err
+	}
+	want, err := fairclique.Find(pg, fairclique.DefaultOptions(2, 2))
+	if err != nil {
+		return res, err
+	}
+	res.AnswerMatchesFresh = got.Size == want.Size() && got.Exact && want.Exact
+	if !res.AnswerMatchesFresh {
+		return res, fmt.Errorf("serve bench: served size %d (exact=%v) != fresh Find %d — differential failed",
+			got.Size, got.Exact, want.Size())
+	}
+	return res, nil
+}
+
+// WriteServeBench runs ServeBench, writes its JSON record to w and,
+// when mergePath names an existing core record, embeds it under
+// "serve".
+func WriteServeBench(cfg Config, w io.Writer, mergePath string) error {
+	res, err := ServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if mergePath == "" {
+		return nil
+	}
+	rec, err := LoadCoreBench(mergePath)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", mergePath, err)
+	}
+	rec.Serve = &res
+	return writeCoreRecord(mergePath, rec)
+}

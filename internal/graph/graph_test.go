@@ -327,6 +327,59 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// TestReadWithLimitsTable is the upload-robustness table: the daemon
+// parses untrusted bodies through ReadWithLimits, so oversized and
+// garbage input must be rejected with a line-numbered error — never a
+// panic, a giant allocation commit, or a silently truncated graph.
+func TestReadWithLimitsTable(t *testing.T) {
+	lim := ReadLimits{MaxVertices: 100, MaxEdges: 10}
+	cases := []struct {
+		name, in string
+		wantErr  string // substring; "" means the input must parse
+	}{
+		{"within-limits", "v 0 a\nv 1 b\ne 0 1\n", ""},
+		{"vertex-id-at-cap", "v 99 b\n", ""},
+		{"vertex-id-over-cap", "# c\nv 100 a\n", "line 2: vertex id 100 exceeds the 100-vertex limit"},
+		{"edge-endpoint-over-cap", "e 0 2000000000\n", "line 1: vertex id 2000000000 exceeds the 100-vertex limit"},
+		{"bare-endpoint-over-cap", "5 101\n", "line 1: vertex id 101 exceeds the 100-vertex limit"},
+		{"too-many-edges", "e 0 1\ne 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 6\ne 6 7\ne 7 8\ne 8 9\ne 9 10\ne 10 11\n", "line 11: edge count exceeds the 10-edge limit"},
+		{"dups-count-against-cap", strings.Repeat("e 0 1\n", 11), "line 11: edge count exceeds"},
+		{"garbage-line", "v 0 a\nnot a record\n", "line 2"},
+		{"binary-garbage", "\x00\x01\x02\n", "line 1"},
+		{"id-overflows-int32", "e 0 99999999999\n", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadWithLimits(strings.NewReader(tc.in), lim)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want success, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got graph n=%d m=%d", tc.wantErr, g.N(), g.M())
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+	// Unlimited Read must still accept everything the table allows and
+	// agree with the limited parse.
+	g1, err := Read(strings.NewReader("v 0 a\nv 1 b\ne 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadWithLimits(strings.NewReader("v 0 a\nv 1 b\ne 0 1\n"), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatalf("limited parse diverged: n %d vs %d, m %d vs %d", g1.N(), g2.N(), g1.M(), g2.M())
+	}
+}
+
 func TestParseAttr(t *testing.T) {
 	for _, tc := range []struct {
 		in   string

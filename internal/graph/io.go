@@ -50,16 +50,48 @@ func WriteFile(path string, g *Graph) error {
 	return f.Close()
 }
 
-// Read parses a graph in the text format above.
+// Read parses a graph in the text format above with no size limits.
+// Untrusted input (network uploads) should go through ReadWithLimits
+// instead: a single garbage line like "e 0 2000000000" otherwise
+// commits the parser to a two-billion-vertex builder.
 func Read(r io.Reader) (*Graph, error) {
+	return ReadWithLimits(r, ReadLimits{})
+}
+
+// ReadLimits bounds what Read will accept from untrusted input. Zero
+// fields are unlimited. Violations are reported as line-numbered
+// errors the moment they occur — never a panic, an OOM commit, or a
+// silently truncated graph.
+type ReadLimits struct {
+	// MaxVertices rejects any vertex id >= MaxVertices (ids are dense,
+	// so the largest id bounds the builder allocation).
+	MaxVertices int
+	// MaxEdges rejects the (MaxEdges+1)-th edge record. Duplicate
+	// records count: the limit is on parser work, not the final M().
+	MaxEdges int
+}
+
+// ReadWithLimits parses a graph in the text format above, rejecting
+// input that exceeds lim with a line-numbered error.
+func ReadWithLimits(r io.Reader, lim ReadLimits) (*Graph, error) {
 	type edge struct{ u, v int32 }
 	var edges []edge
 	attrs := map[int32]Attr{}
 	maxID := int32(-1)
-	note := func(v int32) {
+	note := func(v int32, line int) error {
+		if lim.MaxVertices > 0 && v >= int32(lim.MaxVertices) {
+			return fmt.Errorf("graph: line %d: vertex id %d exceeds the %d-vertex limit", line, v, lim.MaxVertices)
+		}
 		if v > maxID {
 			maxID = v
 		}
+		return nil
+	}
+	noteEdge := func(line int) error {
+		if lim.MaxEdges > 0 && len(edges) >= lim.MaxEdges {
+			return fmt.Errorf("graph: line %d: edge count exceeds the %d-edge limit", line, lim.MaxEdges)
+		}
+		return nil
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -84,8 +116,10 @@ func Read(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", line, err)
 			}
+			if err := note(id, line); err != nil {
+				return nil, err
+			}
 			attrs[id] = a
-			note(id)
 		case "e":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>'", line)
@@ -98,18 +132,32 @@ func Read(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", line, err)
 			}
+			if err := note(u, line); err != nil {
+				return nil, err
+			}
+			if err := note(v, line); err != nil {
+				return nil, err
+			}
+			if err := noteEdge(line); err != nil {
+				return nil, err
+			}
 			edges = append(edges, edge{u, v})
-			note(u)
-			note(v)
 		default:
 			// Bare "u v" pairs (plain SNAP edge lists) are accepted too.
 			if len(fields) == 2 {
 				u, err1 := parseID(fields[0])
 				v, err2 := parseID(fields[1])
 				if err1 == nil && err2 == nil {
+					if err := note(u, line); err != nil {
+						return nil, err
+					}
+					if err := note(v, line); err != nil {
+						return nil, err
+					}
+					if err := noteEdge(line); err != nil {
+						return nil, err
+					}
 					edges = append(edges, edge{u, v})
-					note(u)
-					note(v)
 					continue
 				}
 			}
@@ -117,6 +165,9 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("graph: line %d: line exceeds the %d-byte limit", line+1, 1<<22)
+		}
 		return nil, err
 	}
 	b := NewBuilder(int(maxID + 1))

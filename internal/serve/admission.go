@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrBlacklisted rejects a blacklisted client (403).
+	ErrBlacklisted = errors.New("serve: client is blacklisted")
+	// ErrClientSaturated rejects a client over its per-client cap (429).
+	ErrClientSaturated = errors.New("serve: client has too many queries in flight")
+)
+
+// Admission is the query gate: a global in-flight cap with a
+// prioritized wait queue, a per-client blacklist, and an optional
+// per-client saturation cap. Higher priority waiters are admitted
+// first; equal priorities are FIFO (a sequence number breaks ties), so
+// a flood of low-priority queries can delay but never starve the order
+// among themselves, and a high-priority client overtakes the queue
+// without preempting queries already running.
+type Admission struct {
+	maxInFlight  int
+	maxPerClient int
+	blacklist    map[string]struct{}
+	priority     map[string]int
+
+	mu        sync.Mutex
+	inFlight  int
+	perClient map[string]int
+	waiters   waiterQueue
+	seq       int64
+
+	// Counters for /metrics.
+	admitted          atomic.Int64
+	queued            atomic.Int64
+	rejectedBlacklist atomic.Int64
+	rejectedSaturated atomic.Int64
+}
+
+// NewAdmission builds the gate. maxInFlight <= 0 means unlimited;
+// maxPerClient <= 0 disables the per-client cap.
+func NewAdmission(maxInFlight, maxPerClient int, blacklist []string, priorities map[string]int) *Admission {
+	a := &Admission{
+		maxInFlight:  maxInFlight,
+		maxPerClient: maxPerClient,
+		blacklist:    make(map[string]struct{}, len(blacklist)),
+		priority:     make(map[string]int, len(priorities)),
+		perClient:    make(map[string]int),
+	}
+	for _, c := range blacklist {
+		a.blacklist[c] = struct{}{}
+	}
+	for c, p := range priorities {
+		a.priority[c] = p
+	}
+	return a
+}
+
+// Blacklisted reports whether client is denied outright (checked on
+// every endpoint, not only queries).
+func (a *Admission) Blacklisted(client string) bool {
+	_, bad := a.blacklist[client]
+	if bad {
+		a.rejectedBlacklist.Add(1)
+	}
+	return bad
+}
+
+// waiter is one parked Admit call.
+type waiter struct {
+	ch       chan struct{}
+	client   string
+	prio     int
+	seq      int64
+	granted  bool
+	canceled bool
+}
+
+// waiterQueue is a max-heap on (prio desc, seq asc).
+type waiterQueue []*waiter
+
+func (q waiterQueue) Len() int { return len(q) }
+func (q waiterQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q waiterQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *waiterQueue) Push(x any)   { *q = append(*q, x.(*waiter)) }
+func (q *waiterQueue) Pop() any {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return w
+}
+
+// Admit blocks until the client may run a query (or ctx is done) and
+// returns the release function that must be called when the query
+// finishes. The per-client cap counts queued waiters too, so one
+// client cannot fill the whole queue.
+func (a *Admission) Admit(ctx context.Context, client string) (release func(), err error) {
+	if a.Blacklisted(client) {
+		return nil, ErrBlacklisted
+	}
+	a.mu.Lock()
+	if a.maxPerClient > 0 && a.perClient[client] >= a.maxPerClient {
+		a.mu.Unlock()
+		a.rejectedSaturated.Add(1)
+		return nil, ErrClientSaturated
+	}
+	a.perClient[client]++
+	if a.maxInFlight <= 0 || a.inFlight < a.maxInFlight {
+		a.inFlight++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return func() { a.release(client) }, nil
+	}
+	a.seq++
+	w := &waiter{ch: make(chan struct{}), client: client, prio: a.priority[client], seq: a.seq}
+	heap.Push(&a.waiters, w)
+	a.queued.Add(1)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		a.admitted.Add(1)
+		return func() { a.release(client) }, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, so
+			// hand it on like a completed query would.
+			a.mu.Unlock()
+			a.release(client)
+			return nil, ctx.Err()
+		}
+		w.canceled = true
+		a.perClient[client]--
+		if a.perClient[client] <= 0 {
+			delete(a.perClient, client)
+		}
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release frees a slot: the best live waiter inherits it, otherwise
+// the in-flight count drops.
+func (a *Admission) release(client string) {
+	a.mu.Lock()
+	if a.perClient[client]--; a.perClient[client] <= 0 {
+		delete(a.perClient, client)
+	}
+	for a.waiters.Len() > 0 {
+		w := heap.Pop(&a.waiters).(*waiter)
+		if w.canceled {
+			continue
+		}
+		w.granted = true
+		a.mu.Unlock()
+		close(w.ch)
+		return
+	}
+	a.inFlight--
+	a.mu.Unlock()
+}
+
+// AdmissionSnapshot is the gate's /metrics block.
+type AdmissionSnapshot struct {
+	InFlight          int   `json:"in_flight"`
+	QueueDepth        int   `json:"queue_depth"`
+	Admitted          int64 `json:"admitted"`
+	Queued            int64 `json:"queued"`
+	RejectedBlacklist int64 `json:"rejected_blacklist"`
+	RejectedSaturated int64 `json:"rejected_client_cap"`
+}
+
+// Snapshot reports the gate's current and cumulative counters.
+func (a *Admission) Snapshot() AdmissionSnapshot {
+	a.mu.Lock()
+	depth := 0
+	for _, w := range a.waiters {
+		if !w.canceled {
+			depth++
+		}
+	}
+	inFlight := a.inFlight
+	a.mu.Unlock()
+	return AdmissionSnapshot{
+		InFlight:          inFlight,
+		QueueDepth:        depth,
+		Admitted:          a.admitted.Load(),
+		Queued:            a.queued.Load(),
+		RejectedBlacklist: a.rejectedBlacklist.Load(),
+		RejectedSaturated: a.rejectedSaturated.Load(),
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBlacklistAndCap(t *testing.T) {
+	a := NewAdmission(1, 1, []string{"mallory"}, nil)
+
+	if _, err := a.Admit(context.Background(), "mallory"); !errors.Is(err, ErrBlacklisted) {
+		t.Fatalf("mallory admitted: %v", err)
+	}
+
+	release, err := a.Admit(context.Background(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice is at her per-client cap of 1: the next call fails fast.
+	if _, err := a.Admit(context.Background(), "alice"); !errors.Is(err, ErrClientSaturated) {
+		t.Fatalf("saturated alice admitted: %v", err)
+	}
+	release()
+	release2, err := a.Admit(context.Background(), "alice")
+	if err != nil {
+		t.Fatalf("alice rejected after release: %v", err)
+	}
+	release2()
+
+	snap := a.Snapshot()
+	if snap.RejectedBlacklist != 1 || snap.RejectedSaturated != 1 || snap.Admitted != 2 {
+		t.Fatalf("snapshot = %+v; want 1 blacklist, 1 saturated, 2 admitted", snap)
+	}
+}
+
+// TestAdmissionPriorityOrder parks three waiters behind a full gate and
+// checks the grant order: priority first, FIFO within a priority.
+func TestAdmissionPriorityOrder(t *testing.T) {
+	a := NewAdmission(1, 0, nil, map[string]int{"vip": 10})
+
+	hold, err := a.Admit(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	admit := func(client string) {
+		defer wg.Done()
+		release, err := a.Admit(context.Background(), client)
+		if err != nil {
+			t.Errorf("%s: %v", client, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, client)
+		mu.Unlock()
+		release()
+	}
+	// Enqueue in the order low1, low2, vip — deterministically, by
+	// waiting until each waiter is parked before starting the next.
+	for i, c := range []string{"low1", "low2", "vip"} {
+		wg.Add(1)
+		go admit(c)
+		waitForDepth(t, a, i+1)
+	}
+	hold()
+	wg.Wait()
+
+	want := []string{"vip", "low1", "low2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v; want %v", order, want)
+		}
+	}
+}
+
+func waitForDepth(t *testing.T, a *Admission, min int) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if a.Snapshot().QueueDepth >= min {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionCancel checks that a canceled waiter neither leaks its
+// per-client count nor swallows the slot it never got.
+func TestAdmissionCancel(t *testing.T) {
+	a := NewAdmission(1, 1, nil, nil)
+	hold, err := a.Admit(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(ctx, "bob")
+		done <- err
+	}()
+	waitForDepth(t, a, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v", err)
+	}
+
+	// bob's per-client count must be gone: he can queue again.
+	go func() {
+		release, err := a.Admit(context.Background(), "bob")
+		if err == nil {
+			release()
+		}
+		done <- err
+	}()
+	waitForDepth(t, a, 1)
+	hold()
+	if err := <-done; err != nil {
+		t.Fatalf("bob after cancel: %v", err)
+	}
+	snap := a.Snapshot()
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("gate did not drain: %+v", snap)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// latencySamples is the per-endpoint reservoir size: large enough for
+// a stable p99 over recent traffic, small enough to sort on demand.
+const latencySamples = 4096
+
+// latencyRec accumulates one endpoint's request latencies: exact count
+// and sum, plus a ring of the most recent samples for quantiles.
+type latencyRec struct {
+	mu    sync.Mutex
+	count int64
+	sumMs float64
+	ring  []float64
+	next  int
+}
+
+func (l *latencyRec) observe(ms float64) {
+	l.mu.Lock()
+	l.count++
+	l.sumMs += ms
+	if len(l.ring) < latencySamples {
+		l.ring = append(l.ring, ms)
+	} else {
+		l.ring[l.next] = ms
+		l.next = (l.next + 1) % latencySamples
+	}
+	l.mu.Unlock()
+}
+
+// EndpointMetrics is one endpoint's latency block in /metrics.
+type EndpointMetrics struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (l *latencyRec) snapshot() EndpointMetrics {
+	l.mu.Lock()
+	m := EndpointMetrics{Count: l.count}
+	if l.count > 0 {
+		m.MeanMs = l.sumMs / float64(l.count)
+	}
+	samples := append([]float64(nil), l.ring...)
+	l.mu.Unlock()
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		m.P50Ms = quantile(samples, 0.50)
+		m.P99Ms = quantile(samples, 0.99)
+	}
+	return m
+}
+
+// quantile reads q from sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Metrics aggregates the daemon's observability state that is not
+// owned by a graph entry or the admission gate: per-endpoint
+// latencies and HTTP status classes.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*latencyRec
+	statuses  map[int]int64
+}
+
+// NewMetrics returns an empty recorder.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		endpoints: make(map[string]*latencyRec),
+		statuses:  make(map[int]int64),
+	}
+}
+
+// Observe records one request against the named endpoint.
+func (m *Metrics) Observe(endpoint string, ms float64, status int) {
+	m.mu.Lock()
+	rec, ok := m.endpoints[endpoint]
+	if !ok {
+		rec = &latencyRec{}
+		m.endpoints[endpoint] = rec
+	}
+	m.statuses[status]++
+	m.mu.Unlock()
+	rec.observe(ms)
+}
+
+// Endpoints snapshots every endpoint's latency block.
+func (m *Metrics) Endpoints() map[string]EndpointMetrics {
+	m.mu.Lock()
+	recs := make(map[string]*latencyRec, len(m.endpoints))
+	for name, rec := range m.endpoints {
+		recs[name] = rec
+	}
+	m.mu.Unlock()
+	out := make(map[string]EndpointMetrics, len(recs))
+	for name, rec := range recs {
+		out[name] = rec.snapshot()
+	}
+	return out
+}
+
+// Statuses snapshots the HTTP status counts.
+func (m *Metrics) Statuses() map[int]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]int64, len(m.statuses))
+	for s, n := range m.statuses {
+		out[s] = n
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"fairclique"
+)
+
+func testEntry(t *testing.T, cfg Config) *GraphEntry {
+	t.Helper()
+	g, err := fairclique.ReadGraph(strings.NewReader(testGraphText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewRegistry(cfg.withDefaults()).Create("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestWriteBufferCoalesce checks the last-op-wins semantics: many raw
+// ops on the same edge flush as one delta operation with the final
+// state, and the whole buffer costs a single Session.Apply.
+func TestWriteBufferCoalesce(t *testing.T) {
+	e := testEntry(t, Config{})
+
+	// add, del, add on the same absent edge (1,4): net insert.
+	// del, add, del on the present edge (0,4): net delete.
+	ops := []Op{
+		{Kind: OpAddEdge, U: 1, V: 4},
+		{Kind: OpDelEdge, U: 4, V: 1}, // either orientation coalesces
+		{Kind: OpAddEdge, U: 1, V: 4},
+		{Kind: OpDelEdge, U: 0, V: 4},
+		{Kind: OpAddEdge, U: 0, V: 4},
+		{Kind: OpDelEdge, U: 0, V: 4},
+	}
+	res, err := e.Mutate(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes != 0 || res.BufferedOps != 6 {
+		t.Fatalf("mutate = %+v; want 6 buffered raw ops, no flush", res)
+	}
+	d := e.buf.toDelta()
+	if len(d.AddEdges) != 1 || len(d.DelEdges) != 1 {
+		t.Fatalf("coalesced delta = %d adds, %d dels; want 1 and 1", len(d.AddEdges), len(d.DelEdges))
+	}
+
+	epoch, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || e.Flushes() != 1 {
+		t.Fatalf("epoch %d after %d flushes; want 1 after 1 — the buffer must cost ONE Apply", epoch, e.Flushes())
+	}
+	st := e.Session().Stats()
+	if st.Applies != 1 {
+		t.Fatalf("session saw %d applies; want 1", st.Applies)
+	}
+	if e.Session().M() != 7 { // 7 - (0,4) + (1,4) = 7
+		t.Fatalf("M = %d after coalesced flush; want 7", e.Session().M())
+	}
+}
+
+// TestWriteBufferForcedFlush checks the two orderings a single batched
+// delta cannot express: they must flush mid-batch, not misorder.
+func TestWriteBufferForcedFlush(t *testing.T) {
+	e := testEntry(t, Config{})
+
+	// Delete vertex 4, then re-attach it: the edge add happens AFTER
+	// the deletion dropped (0,4), so buffering both in one delta would
+	// be contradictory. The entry must flush the deletion first.
+	res, err := e.Mutate([]Op{
+		{Kind: OpDelVertex, U: 4},
+		{Kind: OpAddEdge, U: 4, V: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes != 1 {
+		t.Fatalf("del-vertex-then-add-edge forced %d flushes; want 1", res.Flushes)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q := fairclique.QuerySpec{K: 1, Delta: 5}
+	r, _, _, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 lost (0,4) but gained (4,2): still attached.
+	if e.Session().M() != 7 {
+		t.Fatalf("M = %d; want 7 (pendant moved, not dropped)", e.Session().M())
+	}
+	if r.Size() == 0 {
+		t.Fatal("query found nothing on the mutated graph")
+	}
+
+	// Buffered edge ops on a vertex, then its deletion: the edge ops
+	// happened before, so they must land first — another forced flush.
+	res, err = e.Mutate([]Op{
+		{Kind: OpAddEdge, U: 4, V: 1},
+		{Kind: OpDelVertex, U: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes != 1 {
+		t.Fatalf("edge-op-then-del-vertex forced %d flushes; want 1", res.Flushes)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Session().M() != 6 { // K4 edges only: 4 is isolated again
+		t.Fatalf("M = %d; want 6 (vertex 4 isolated)", e.Session().M())
+	}
+}
+
+// TestWriteBufferCap checks MaxBufferedOps forces a flush mid-batch.
+func TestWriteBufferCap(t *testing.T) {
+	e := testEntry(t, Config{MaxBufferedOps: 4})
+	var ops []Op
+	for i := 0; i < 10; i++ {
+		kind := OpAddEdge
+		if i%2 == 1 {
+			kind = OpDelEdge
+		}
+		ops = append(ops, Op{Kind: kind, U: 1, V: 4})
+	}
+	res, err := e.Mutate(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes == 0 {
+		t.Fatal("10 ops with a cap of 4 never flushed")
+	}
+	if res.BufferedOps >= 4 {
+		t.Fatalf("buffer holds %d ops; cap is 4", res.BufferedOps)
+	}
+}
+
+// TestMutateValidation: malformed ops are rejected before buffering,
+// so one bad client cannot poison another's buffered work.
+func TestMutateValidation(t *testing.T) {
+	e := testEntry(t, Config{})
+	for _, ops := range [][]Op{
+		{{Kind: OpAddEdge, U: 0, V: 0}},
+		{{Kind: OpAddEdge, U: 0, V: 99}},
+		{{Kind: OpAddEdge, U: -1, V: 2}},
+		{{Kind: OpDelVertex, U: 99}},
+		{{Kind: OpKind(42)}},
+	} {
+		if _, err := e.Mutate(ops); err == nil {
+			t.Errorf("Mutate(%+v) accepted a malformed op", ops)
+		}
+	}
+	// New vertices are addressable within the same batch.
+	res, err := e.Mutate([]Op{
+		{Kind: OpAddVertex, Attr: fairclique.AttrB},
+		{Kind: OpAddEdge, U: 5, V: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewVertexIDs) != 1 || res.NewVertexIDs[0] != 5 {
+		t.Fatalf("new vertex ids = %v; want [5]", res.NewVertexIDs)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Session().N() != 6 || e.Session().M() != 8 {
+		t.Fatalf("N=%d M=%d after vertex batch; want 6, 8", e.Session().N(), e.Session().M())
+	}
+}
