@@ -70,6 +70,17 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeEntryErr maps a GraphEntry error to a status: a failed
+// write-buffer flush is a server-side invariant break (500); anything
+// else is request validation (400).
+func writeEntryErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrFlushFailed) {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
 // decodeJSON strictly decodes the request body into v.
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
@@ -153,8 +164,15 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if name == "" {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("serve: graph name must be non-empty (text/plain uploads pass ?name=)"))
+		return
+	}
 	e, err := s.reg.Create(name, g)
 	if err != nil {
+		// The name is validated above, so the only Create failure left
+		// is a duplicate name.
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
@@ -310,7 +328,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	res, cached, epoch, err := e.Query(spec)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeEntryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse(res, cached, epoch))
@@ -357,7 +375,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	res, cachedMask, epoch, err := e.Grid(specs)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeEntryErr(w, err)
 		return
 	}
 	out := GridResponse{Results: make([]QueryResponse, len(res))}
@@ -433,7 +451,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Mutate(ops)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeEntryErr(w, err)
 		return
 	}
 	if req.Flush {
@@ -470,7 +488,8 @@ func (s *Server) handleMutateStream(w http.ResponseWriter, r *http.Request, e *G
 		}
 		res, err := e.Mutate(ops)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("line %d: %w", line, err))
+			// %w keeps ErrFlushFailed visible through the line prefix.
+			writeEntryErr(w, fmt.Errorf("line %d: %w", line, err))
 			return false
 		}
 		total.BufferedOps = res.BufferedOps

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,12 @@ import (
 
 	"fairclique"
 )
+
+// ErrFlushFailed wraps a write-buffer flush whose Session.Apply failed.
+// Every buffered op is validated before it is accepted, so this is a
+// server-side invariant break, never the fault of the request that
+// happened to trigger the flush — handlers map it to a 5xx.
+var ErrFlushFailed = errors.New("serve: write-buffer flush failed")
 
 // Registry is the multi-tenant graph table: name → live entry. Entries
 // are independent — each has its own Session, write buffer, result
@@ -214,30 +221,29 @@ type MutateResult struct {
 }
 
 // Mutate buffers a batch of operations, flushing mid-batch only when
-// sequential semantics demand it or the buffer cap is hit. It
-// validates every op against the (buffer-adjusted) vertex universe so
-// a malformed mutation is a client error here, never a failed Apply
-// later that would dump an innocent bystander's buffered work.
+// sequential semantics demand it or the buffer cap is hit. The whole
+// batch is validated against the (buffer-adjusted) vertex universe
+// before anything is buffered, so the batch is atomic with respect to
+// rejection: a validation error means NO op was absorbed and the
+// buffer is exactly as it was, and a malformed mutation is a client
+// error here, never a failed Apply later that would dump an innocent
+// bystander's buffered work. An error after validation passed wraps
+// ErrFlushFailed (a server-side invariant break, not a client error).
 func (e *GraphEntry) Mutate(ops []Op) (MutateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var res MutateResult
+	if err := e.validateLocked(ops); err != nil {
+		return res, err
+	}
 	for _, op := range ops {
-		// n is the vertex universe the buffered delta will see.
-		n := e.sess.N() + len(e.buf.addV)
 		switch op.Kind {
 		case OpAddVertex:
+			res.NewVertexIDs = append(res.NewVertexIDs, e.sess.N()+len(e.buf.addV))
 			e.buf.addV = append(e.buf.addV, op.Attr)
-			res.NewVertexIDs = append(res.NewVertexIDs, n)
 			e.buf.ops++
-		case OpAddEdge, OpDelEdge:
-			if op.U == op.V {
-				return res, fmt.Errorf("serve: self-loop %d-%d rejected", op.U, op.V)
-			}
-			if op.U < 0 || op.V < 0 || op.U >= n || op.V >= n {
-				return res, fmt.Errorf("serve: edge %d-%d endpoint outside the %d-vertex graph", op.U, op.V, n)
-			}
-			if op.Kind == OpAddEdge && (e.buf.delV[op.U] || e.buf.delV[op.V]) {
+		case OpAddEdge:
+			if e.buf.delV[op.U] || e.buf.delV[op.V] {
 				// Sequentially this edge is re-attached AFTER the
 				// vertex deletion dropped all incident edges; one
 				// batched delta cannot express that order, so flush
@@ -247,12 +253,23 @@ func (e *GraphEntry) Mutate(ops []Op) (MutateResult, error) {
 				}
 				res.Flushes++
 			}
-			e.buf.edges[canonical(op.U, op.V)] = op.Kind == OpAddEdge
+			e.buf.edges[canonical(op.U, op.V)] = true
+			e.buf.ops++
+		case OpDelEdge:
+			if op.U >= e.sess.N() || op.V >= e.sess.N() {
+				// An endpoint is buffer-only, so the edge can exist
+				// only as a buffered insertion — and a batched Delta
+				// cannot delete an edge at a same-delta vertex
+				// (ApplyDelta rejects it). Cancel the buffered
+				// insertion instead; with no insertion buffered the
+				// edge has never existed and the delete is the same
+				// no-op it would be in the session graph.
+				delete(e.buf.edges, canonical(op.U, op.V))
+			} else {
+				e.buf.edges[canonical(op.U, op.V)] = false
+			}
 			e.buf.ops++
 		case OpDelVertex:
-			if op.U < 0 || op.U >= n {
-				return res, fmt.Errorf("serve: vertex %d outside the %d-vertex graph", op.U, n)
-			}
 			if touched := e.bufTouchesVertex(op.U); touched || op.U >= e.sess.N() {
 				// The vertex has buffered edge ops (they happened
 				// BEFORE this deletion, so they must land first) or is
@@ -264,8 +281,6 @@ func (e *GraphEntry) Mutate(ops []Op) (MutateResult, error) {
 			}
 			e.buf.delV[op.U] = true
 			e.buf.ops++
-		default:
-			return res, fmt.Errorf("serve: unknown op kind %d", op.Kind)
 		}
 		if e.buf.ops >= e.cfg.MaxBufferedOps {
 			if err := e.flushLocked(); err != nil {
@@ -277,6 +292,37 @@ func (e *GraphEntry) Mutate(ops []Op) (MutateResult, error) {
 	res.BufferedOps = e.buf.ops
 	res.Epoch = e.epoch.Load()
 	return res, nil
+}
+
+// validateLocked checks the whole batch against the vertex universe
+// each op will see — session vertices plus buffered additions plus
+// preceding in-batch additions — without touching the buffer. The
+// simulated count stays correct across mid-batch flushes because a
+// flush moves buf.addV into the session, leaving the sum
+// sess.N()+len(buf.addV) unchanged (deleted vertex ids are never
+// recycled or compacted). e.mu must be held.
+func (e *GraphEntry) validateLocked(ops []Op) error {
+	n := e.sess.N() + len(e.buf.addV)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAddVertex:
+			n++
+		case OpAddEdge, OpDelEdge:
+			if op.U == op.V {
+				return fmt.Errorf("serve: self-loop %d-%d rejected", op.U, op.V)
+			}
+			if op.U < 0 || op.V < 0 || op.U >= n || op.V >= n {
+				return fmt.Errorf("serve: edge %d-%d endpoint outside the %d-vertex graph", op.U, op.V, n)
+			}
+		case OpDelVertex:
+			if op.U < 0 || op.U >= n {
+				return fmt.Errorf("serve: vertex %d outside the %d-vertex graph", op.U, n)
+			}
+		default:
+			return fmt.Errorf("serve: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
 }
 
 // bufTouchesVertex reports whether a buffered edge op involves v.
@@ -307,13 +353,16 @@ func (e *GraphEntry) flushLocked() error {
 		return nil
 	}
 	d := e.buf.toDelta()
-	e.buf.reset()
 	ast, err := e.sess.Apply(d)
 	if err != nil {
 		// The buffer is already validated op by op, so an Apply error
-		// is a server-side invariant break; surface it loudly.
-		return fmt.Errorf("serve: flush of %q failed: %w", e.name, err)
+		// is a server-side invariant break; surface it loudly — and
+		// keep the acknowledged buffer intact (reset only after Apply
+		// succeeds) so the failure does not silently discard writes
+		// clients were already told landed.
+		return fmt.Errorf("%w: graph %q: %v", ErrFlushFailed, e.name, err)
 	}
+	e.buf.reset()
 	e.epoch.Store(ast.Epoch)
 	e.flushed.Add(1)
 	e.cacheMu.Lock()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -138,6 +139,122 @@ func TestWriteBufferCap(t *testing.T) {
 	}
 	if res.BufferedOps >= 4 {
 		t.Fatalf("buffer holds %d ops; cap is 4", res.BufferedOps)
+	}
+}
+
+// TestMutateDelEdgeBufferOnlyVertex: deleting an edge at a vertex that
+// only exists in the buffer must stay flushable — a batched Delta
+// cannot express DelEdges at a same-delta vertex, so the entry either
+// cancels the buffered insertion or absorbs a no-op. Pre-fix, the
+// buffered batch was acknowledged and the NEXT flush failed.
+func TestMutateDelEdgeBufferOnlyVertex(t *testing.T) {
+	e := testEntry(t, Config{})
+	n := e.Session().N()
+
+	// The review's reproducer: del-edge at the new vertex with no
+	// buffered insertion — the edge cannot exist, a pure no-op.
+	if _, err := e.Mutate([]Op{
+		{Kind: OpAddEdge, U: 0, V: 1},
+		{Kind: OpAddVertex, Attr: fairclique.AttrA},
+		{Kind: OpDelEdge, U: 0, V: n},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatalf("flush after no-op del-edge at buffer-only vertex: %v", err)
+	}
+	if e.Session().N() != n+1 {
+		t.Fatalf("N = %d; want %d", e.Session().N(), n+1)
+	}
+
+	// Add-then-delete on a buffer-only vertex cancels: the flush must
+	// succeed and leave the new vertex isolated.
+	m := e.Session().M()
+	if _, err := e.Mutate([]Op{
+		{Kind: OpAddVertex, Attr: fairclique.AttrB},
+		{Kind: OpAddEdge, U: 0, V: n + 1},
+		{Kind: OpDelEdge, U: n + 1, V: 0}, // either orientation cancels
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatalf("flush after cancelled insertion at buffer-only vertex: %v", err)
+	}
+	if e.Session().N() != n+2 || e.Session().M() != m {
+		t.Fatalf("N=%d M=%d; want %d and %d (vertex added, edge cancelled)",
+			e.Session().N(), e.Session().M(), n+2, m)
+	}
+
+	// Cancel-then-re-add keeps the last op: the edge must land.
+	if _, err := e.Mutate([]Op{
+		{Kind: OpAddVertex, Attr: fairclique.AttrB},
+		{Kind: OpAddEdge, U: 0, V: n + 2},
+		{Kind: OpDelEdge, U: 0, V: n + 2},
+		{Kind: OpAddEdge, U: 0, V: n + 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Session().M() != m+1 {
+		t.Fatalf("M = %d; want %d (re-added edge lands)", e.Session().M(), m+1)
+	}
+}
+
+// TestMutateAtomicRejection: a batch with a bad op anywhere is rejected
+// whole — ops preceding the bad one must not stay buffered, so the
+// client knows a 400 means "nothing took effect".
+func TestMutateAtomicRejection(t *testing.T) {
+	e := testEntry(t, Config{})
+	_, err := e.Mutate([]Op{
+		{Kind: OpAddEdge, U: 1, V: 4},               // valid
+		{Kind: OpAddVertex, Attr: fairclique.AttrA}, // valid
+		{Kind: OpAddEdge, U: 0, V: 99},              // invalid: out of range
+	})
+	if err == nil {
+		t.Fatal("batch with an out-of-range op was accepted")
+	}
+	if got := e.BufferedOps(); got != 0 {
+		t.Fatalf("rejected batch left %d ops buffered; want 0", got)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Session().N() != 5 || e.Session().M() != 7 {
+		t.Fatalf("N=%d M=%d after rejected batch; want the graph untouched (5, 7)",
+			e.Session().N(), e.Session().M())
+	}
+}
+
+// TestFlushFailureKeepsBuffer: if Apply ever fails (a server-side
+// invariant break), the acknowledged buffer must survive for retry —
+// not be silently discarded — and the error must carry ErrFlushFailed
+// so handlers answer 5xx, not 400. The buffer is corrupted by hand
+// because validation makes a real Apply failure unreachable.
+func TestFlushFailureKeepsBuffer(t *testing.T) {
+	e := testEntry(t, Config{})
+	e.mu.Lock()
+	e.buf.edges[[2]int{0, 999}] = false // out of range: Apply must reject
+	e.buf.ops = 1
+	e.mu.Unlock()
+
+	if _, err := e.Flush(); !errors.Is(err, ErrFlushFailed) {
+		t.Fatalf("Flush() = %v; want ErrFlushFailed", err)
+	}
+	if got := e.BufferedOps(); got != 1 {
+		t.Fatalf("failed flush left %d buffered ops; want 1 (buffer retained)", got)
+	}
+	if _, _, _, err := e.Query(fairclique.QuerySpec{K: 1, Delta: 5}); !errors.Is(err, ErrFlushFailed) {
+		t.Fatalf("Query over a stuck buffer = %v; want ErrFlushFailed", err)
+	}
+
+	// Clearing the corruption un-sticks the entry.
+	e.mu.Lock()
+	e.buf.reset()
+	e.mu.Unlock()
+	if _, _, _, err := e.Query(fairclique.QuerySpec{K: 1, Delta: 5}); err != nil {
+		t.Fatalf("Query after clearing the buffer: %v", err)
 	}
 }
 

@@ -175,8 +175,45 @@ func TestServeRawUploadAndLimits(t *testing.T) {
 	// A rejected upload must not register the graph.
 	request(t, ts, "GET", "/graphs/garbage", "", "", http.StatusNotFound)
 
-	// An empty name is rejected.
-	request(t, ts, "POST", "/graphs", "text/plain", testGraphText, http.StatusConflict)
+	// An empty name is a malformed request (409 stays reserved for
+	// duplicate names).
+	request(t, ts, "POST", "/graphs", "text/plain", testGraphText, http.StatusBadRequest)
+	body, _ := json.Marshal(CreateRequest{Name: "", Text: testGraphText})
+	request(t, ts, "POST", "/graphs", "application/json", string(body), http.StatusBadRequest)
+}
+
+// TestServeFlushFailureIs500: a flush failure is the server's invariant
+// break, not the client's fault — query and mutate endpoints must
+// answer 5xx, not 400. Reached by hand-corrupting the write buffer,
+// since op validation makes a real Apply failure unreachable.
+func TestServeFlushFailureIs500(t *testing.T) {
+	s, ts := startServer(t, Config{})
+	createGraph(t, ts, "g", testGraphText)
+	e, ok := s.reg.Get("g")
+	if !ok {
+		t.Fatal("graph not registered")
+	}
+	corrupt := func() {
+		e.mu.Lock()
+		e.buf.edges[[2]int{0, 999}] = false
+		e.buf.ops = 1
+		e.mu.Unlock()
+	}
+
+	corrupt()
+	qb, _ := json.Marshal(QueryRequest{K: 1, Delta: 5})
+	request(t, ts, "POST", "/graphs/g/query", "application/json", string(qb), http.StatusInternalServerError)
+	gb, _ := json.Marshal(GridRequest{Cells: []QueryRequest{{K: 1, Delta: 5}}})
+	request(t, ts, "POST", "/graphs/g/grid", "application/json", string(gb), http.StatusInternalServerError)
+	request(t, ts, "POST", "/graphs/g/flush", "", "", http.StatusInternalServerError)
+
+	// A malformed query on the same endpoint is still the client's 400.
+	request(t, ts, "POST", "/graphs/g/query", "application/json", `{"k":1,"mode":"bogus"}`, http.StatusBadRequest)
+
+	e.mu.Lock()
+	e.buf.reset()
+	e.mu.Unlock()
+	queryGraph(t, ts, "g", QueryRequest{K: 1, Delta: 5}, http.StatusOK)
 }
 
 func TestServePathCreateGate(t *testing.T) {
