@@ -54,7 +54,11 @@ race: test-race
 # ~2.2M-edge IngestGiant instance) embedded under "ingest", and the
 # daemon load experiment (concurrent clients against the in-process
 # serve handler — qps, p50/p99, cache hit rate, epoch churn) embedded
-# under "serve".
+# under "serve", and the anytime experiment (the gap-vs-budget curve:
+# deadline runs at fractions of the exact wall clock with certified
+# optimality gaps; hard-fails if a zero-deadline run reports inexact
+# or any budgeted run breaks the incumbent <= optimum <= certificate
+# sandwich) embedded under "anytime".
 # Future engine PRs compare against the committed record (bench-check).
 bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
@@ -63,6 +67,7 @@ bench:
 	$(GO) run ./cmd/benchmark -exp sched -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp ingest -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp serve -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp anytime -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a

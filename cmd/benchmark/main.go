@@ -10,7 +10,7 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. Six extra experiments always emit JSON
+// casestudies, ablation, all. Seven extra experiments always emit JSON
 // and feed BENCH_core.json, the repo's perf trajectory: "core"
 // benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
 // single-giant-component graph), "grid" measures the multi-query
@@ -30,8 +30,12 @@
 // the generated SNAP pair), and "serve" load-tests the mfcd daemon's
 // handler in process: concurrent query clients plus a mutator against
 // one registered graph — qps, p50/p99 latency, result-cache hit rate,
-// epoch churn and a served-vs-fresh differential. Use -merge
-// BENCH_core.json to embed the records; `make bench` runs all six.
+// epoch churn and a served-vs-fresh differential, and "anytime"
+// measures the gap-vs-budget curve: deadline-budgeted searches at
+// fractions of the exact wall clock, each reporting its incumbent and
+// certified optimality gap (hard-failing if a zero-deadline run is
+// inexact or a budgeted run breaks the sandwich). Use -merge
+// BENCH_core.json to embed the records; `make bench` runs all seven.
 package main
 
 import (
@@ -127,6 +131,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: serve daemon bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "anytime" {
+		// The anytime-search experiment: the gap-vs-budget curve on the
+		// core instance — deadline runs at fractions of the exact wall
+		// clock, each with its certified optimality gap. Hard-fails if
+		// the zero-deadline run reports inexact or any point breaks the
+		// incumbent <= optimum <= certificate sandwich. JSON-only;
+		// -merge embeds it under "anytime".
+		if err := bench.WriteAnytimeBench(cfg, w, *merge); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: anytime search bench finished in %v\n", time.Since(start))
 		return
 	}
 	if *exp == "ingest" {

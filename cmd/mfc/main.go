@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mfc -graph g.txt -k 3 -delta 1 [-bound cd] [-no-heur] [-no-bounds]
+//	mfc -graph g.txt -k 3 -delta 1 -deadline 500ms   # anytime: best clique + certified gap
+
 //	mfc -graph g.txt -k 3 -delta 1 -heuristic    # linear-time HeurRFC only
 //	mfc -graph g.txt -k 3 -reduce                # reduction pipeline only
 //	mfc -graph g.txt -k 3 -delta 1 -enum         # Bron-Kerbosch baseline
@@ -61,6 +63,7 @@ func main() {
 		reduceOnly  = flag.Bool("reduce", false, "run only the reduction pipeline and report sizes")
 		enumerate   = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
 		maxNodes    = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
+		deadline    = flag.Duration("deadline", 0, "anytime wall-clock budget, e.g. 500ms (0 = none); an aborted run prints its certified upper bound and gap")
 		workers     = flag.Int("workers", 1, "parallel branching workers (a grid shares them through the session's work-stealing pool)")
 		staticSplit = flag.Bool("static-split", false, "grid scheduling baseline: slice -workers statically across concurrent cells instead of the shared work-stealing pool")
 		grid        = flag.String("grid", "", "answer a (k, delta) grid on one warm session, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
@@ -169,6 +172,7 @@ func main() {
 		DisableHeuristic: *noHeur,
 		DisableReduction: *noReduce,
 		MaxNodes:         *maxNodes,
+		Deadline:         *deadline,
 		Workers:          *workers,
 	}
 	start := time.Now()
@@ -185,7 +189,8 @@ func main() {
 		fmt.Printf("search: %d nodes, %d bound checks, %d bound prunes, heuristic seed %d\n",
 			res.Stats.Nodes, res.Stats.BoundChecks, res.Stats.BoundPrunes, res.Stats.HeuristicSize)
 		if !res.Exact {
-			fmt.Println("WARNING: search aborted by -max-nodes; result may be sub-optimal")
+			fmt.Printf("anytime: budget expired; optimum is in [%d, %d] (gap %d)\n",
+				res.Size(), res.UpperBound, res.Gap)
 		}
 	}
 }
@@ -280,7 +285,7 @@ func printCells(specs []fairclique.QuerySpec, results []*fairclique.Result, quie
 		}
 		note := ""
 		if !res.Exact {
-			note = "  (aborted by -max-nodes; may be sub-optimal)"
+			note = fmt.Sprintf("  (budget expired; optimum in [%d, %d])", res.Size(), res.UpperBound)
 		}
 		fmt.Printf("%-14s size %2d  (%d a, %d b)  %d nodes%s\n",
 			cell, res.Size(), res.CountA, res.CountB, res.Stats.Nodes, note)

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/core"
@@ -280,8 +281,15 @@ type Options struct {
 	DisableReduction bool
 	// MaxNodes aborts after this many branch nodes when positive; the
 	// result is then a (possibly sub-optimal) fair clique with
-	// Result.Exact == false.
+	// Result.Exact == false and a certified Result.UpperBound on the
+	// optimum.
 	MaxNodes int64
+	// Deadline, when positive, turns the search anytime: it stops within
+	// a branch-granularity check interval of the wall-clock budget and
+	// returns the best incumbent found plus a certified upper bound on
+	// the optimum (Result.UpperBound / Result.Gap). A search that proves
+	// optimality before the deadline returns exact as usual.
+	Deadline time.Duration
 	// Workers branches concurrently when > 1. Parallelism is
 	// intra-component — the root branches of each connected component
 	// are split across workers — so it helps even when the reduced
@@ -304,8 +312,16 @@ type Result struct {
 	Clique []int
 	// CountA and CountB are the attribute counts of Clique.
 	CountA, CountB int
-	// Exact is false only if MaxNodes aborted the search.
+	// Exact is false only if a budget (MaxNodes or Deadline) aborted the
+	// search before it proved optimality.
 	Exact bool
+	// UpperBound is a certified upper bound on the maximum fair clique
+	// size: the optimum lies in [Size(), UpperBound]. Equal to Size()
+	// whenever Exact.
+	UpperBound int
+	// Gap is UpperBound - Size(): 0 for exact answers, otherwise the
+	// certified optimality gap of the anytime answer.
+	Gap int
 	// Stats describes the search effort.
 	Stats SearchStats
 }
@@ -322,6 +338,9 @@ type SearchStats struct {
 	ReducedVertices, ReducedEdges int
 	// HeuristicSize is the size of the HeurRFC seed clique (0 if none).
 	HeuristicSize int
+	// FrontierPriced is the number of unexplored search regions priced
+	// into the certificate after a budget abort (0 for exact runs).
+	FrontierPriced int64
 }
 
 // Size returns len(Clique).
@@ -331,6 +350,10 @@ func (r *Result) Size() int { return len(r.Clique) }
 // MaxRFC). It returns an error only for invalid options.
 func Find(g *Graph, opt Options) (*Result, error) {
 	ig := g.freeze()
+	var deadline time.Time
+	if opt.Deadline > 0 {
+		deadline = time.Now().Add(opt.Deadline)
+	}
 	res, err := core.MaxRFC(ig, core.Options{
 		K:             opt.K,
 		Delta:         opt.Delta,
@@ -339,6 +362,7 @@ func Find(g *Graph, opt Options) (*Result, error) {
 		UseHeuristic:  !opt.DisableHeuristic,
 		SkipReduction: opt.DisableReduction,
 		MaxNodes:      opt.MaxNodes,
+		Deadline:      deadline,
 		Workers:       opt.Workers,
 	})
 	if err != nil {
@@ -350,8 +374,9 @@ func Find(g *Graph, opt Options) (*Result, error) {
 // resultFromCore converts an internal search result to the public one.
 func resultFromCore(ig *graph.Graph, res *core.Result) *Result {
 	out := &Result{
-		Clique: toInt(res.Clique),
-		Exact:  !res.Stats.Aborted,
+		Clique:     toInt(res.Clique),
+		Exact:      !res.Stats.Aborted,
+		UpperBound: int(res.UpperBound),
 		Stats: SearchStats{
 			Nodes:           res.Stats.Nodes,
 			BoundChecks:     res.Stats.BoundChecks,
@@ -359,8 +384,13 @@ func resultFromCore(ig *graph.Graph, res *core.Result) *Result {
 			ReducedVertices: int(res.Stats.ReducedVertices),
 			ReducedEdges:    int(res.Stats.ReducedEdges),
 			HeuristicSize:   res.Stats.HeuristicSize,
+			FrontierPriced:  res.Stats.FrontierPriced,
 		},
 	}
+	if out.UpperBound < len(res.Clique) {
+		out.UpperBound = len(res.Clique)
+	}
+	out.Gap = out.UpperBound - len(res.Clique)
 	out.CountA, out.CountB = ig.CountAttrs(res.Clique)
 	return out
 }
@@ -448,11 +478,19 @@ const (
 
 // QuerySpec is one cell of a session workload: the per-attribute
 // minimum K, the fairness Mode, and — for ModeRelative — the balance
-// tolerance Delta (ignored by the other modes).
+// tolerance Delta (ignored by the other modes). Deadline and MaxNodes
+// optionally budget this cell alone: a budget-aborted answer carries a
+// certified UpperBound/Gap and is never reused to seed or bound other
+// cells.
 type QuerySpec struct {
 	K     int
 	Delta int
 	Mode  Mode
+	// Deadline, when positive, is this query's wall-clock budget.
+	Deadline time.Duration
+	// MaxNodes, when positive, caps this query's branch nodes; the
+	// tighter of this and SessionOptions.MaxNodes wins.
+	MaxNodes int64
 }
 
 // SessionOptions configures a Session; the zero value is the
@@ -543,6 +581,10 @@ type SessionStats struct {
 	// counts executors that ran out of cells and released themselves to
 	// steal for the cells still running.
 	Steals, CrossCellSteals, WorkerReleases int64
+	// BoundInjections and SeedInjections count live broadcasts of a
+	// solved cell's proven bound / incumbent clique into searches still
+	// running on the same graph generation.
+	BoundInjections, SeedInjections int64
 }
 
 // Session prepares a graph — CSR, reduction snapshots per k, peel-rank
@@ -614,16 +656,29 @@ func (s *Session) normalize(spec QuerySpec) (session.Query, error) {
 	if spec.K < 1 {
 		return session.Query{}, fmt.Errorf("fairclique: k must be >= 1, got %d", spec.K)
 	}
+	if spec.MaxNodes < 0 {
+		return session.Query{}, fmt.Errorf("fairclique: max nodes must be >= 0, got %d", spec.MaxNodes)
+	}
+	if spec.Deadline < 0 {
+		return session.Query{}, fmt.Errorf("fairclique: deadline must be >= 0, got %v", spec.Deadline)
+	}
+	q := session.Query{K: int32(spec.K), MaxNodes: spec.MaxNodes}
+	if spec.Deadline > 0 {
+		q.Deadline = time.Now().Add(spec.Deadline)
+	}
 	switch spec.Mode {
 	case ModeRelative:
 		if spec.Delta < 0 {
 			return session.Query{}, fmt.Errorf("fairclique: delta must be >= 0, got %d", spec.Delta)
 		}
-		return session.Query{K: int32(spec.K), Delta: int32(spec.Delta)}, nil
+		q.Delta = int32(spec.Delta)
+		return q, nil
 	case ModeWeak:
-		return session.Query{K: int32(spec.K), Weak: true}, nil
+		q.Weak = true
+		return q, nil
 	case ModeStrong:
-		return session.Query{K: int32(spec.K), Delta: 0}, nil
+		q.Delta = 0
+		return q, nil
 	default:
 		return session.Query{}, fmt.Errorf("fairclique: unknown mode %d", spec.Mode)
 	}
@@ -790,6 +845,8 @@ func (s *Session) Stats() SessionStats {
 		Steals:           st.Steals,
 		CrossCellSteals:  st.CrossCellSteals,
 		WorkerReleases:   st.WorkerReleases,
+		BoundInjections:  st.BoundInjections,
+		SeedInjections:   st.SeedInjections,
 	}
 }
 

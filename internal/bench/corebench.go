@@ -62,6 +62,11 @@ type CoreBenchResult struct {
 	// pre-prune → component-parallel reduction → search on the
 	// reproducible multi-million-edge instance.
 	Ingest *IngestBenchResult `json:"ingest,omitempty"`
+	// Anytime, when present, is the anytime-search experiment
+	// (`benchmark -exp anytime`): the gap-vs-budget curve — deadline
+	// runs at fractions of the exact wall clock, each with its
+	// incumbent size and certified optimality gap.
+	Anytime *AnytimeBenchResult `json:"anytime,omitempty"`
 	// Serve, when present, is the daemon load experiment
 	// (`benchmark -exp serve`): concurrent HTTP clients against the
 	// in-process serve handler — qps, tail latency, cache hit rate and

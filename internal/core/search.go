@@ -63,6 +63,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/color"
@@ -96,11 +97,24 @@ type Options struct {
 	// SkipReduction disables the reduction pipeline (ablation only).
 	SkipReduction bool
 	// MaxNodes aborts the search after this many branch nodes when
-	// positive (safety valve for experiment sweeps). The result is then
-	// the best clique found so far and Stats.Aborted is set. Because
-	// node counting is batched per worker, the abort may trigger a few
-	// dozen nodes past the cap.
+	// positive (safety valve for experiment sweeps, and the anytime
+	// node-budget mode). The result is then the best clique found so
+	// far with a certified Result.UpperBound, and Stats.Aborted is set.
+	// Because node counting is batched per worker, the abort may
+	// trigger a few dozen nodes past the cap.
 	MaxNodes int64
+	// Deadline, when non-zero, makes the search anytime: the wall-clock
+	// budget is checked at branch granularity, and on expiry the search
+	// stops with the best incumbent found so far plus a certified upper
+	// bound on the optimum (Result.UpperBound) priced from the
+	// unexplored frontier — the Table II evaluator over unexplored root
+	// branches and components (§IV's bounds double as gap certifiers).
+	// Stats.Aborted is set when the deadline fired.
+	Deadline time.Time
+	// Injector, when non-nil, lets concurrently running searches (the
+	// session layer's grid cells) push proven bounds and valid
+	// incumbents into this search while it runs. See Injector.
+	Injector *Injector
 	// Workers sets the number of goroutines branching concurrently.
 	// Parallelism is intra-component: the root-level branches of each
 	// component are split across workers sharing the atomic incumbent,
@@ -147,15 +161,28 @@ type Stats struct {
 	Components int
 	// HeuristicSize is the size of the HeurRFC seed (0 if unused/none).
 	HeuristicSize int
-	// Aborted is set when MaxNodes stopped the search early.
+	// FrontierPriced counts the unexplored frontier nodes (root
+	// branches, donated subtrees, whole components) priced into the
+	// certificate after an anytime abort (0 for exact runs).
+	FrontierPriced int64
+	// Aborted is set when MaxNodes or Deadline stopped the search
+	// early; the result is then inexact with a certified UpperBound.
 	Aborted bool
 }
 
 // Result is the outcome of a MaxRFC run.
 type Result struct {
 	// Clique is a maximum relative fair clique in g's vertex ids, or
-	// nil when no (k, delta)-fair clique exists.
+	// nil when no (k, delta)-fair clique exists. When Stats.Aborted is
+	// set it is only the best incumbent found within the budget.
 	Clique []int32
+	// UpperBound is a certified upper bound on the maximum fair clique
+	// size: len(Clique) when the search is exact, and otherwise the
+	// frontier certificate — the max of the incumbent and the Table II
+	// evaluator bounds over every unexplored region, clamped to any
+	// trusted StopAtSize or injected bound. Always >= len(Clique), so
+	// UpperBound - len(Clique) is a sound optimality gap.
+	UpperBound int32
 	// Stats describes the search effort.
 	Stats Stats
 }
@@ -339,18 +366,36 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 	res.Stats.Components = len(p.comps)
 
 	s := &searcher{
-		p:      p,
-		k:      int32(opt.K),
-		delta:  int32(opt.Delta),
-		opt:    opt,
-		stopAt: int32(opt.StopAtSize),
+		p:     p,
+		k:     int32(opt.K),
+		delta: int32(opt.Delta),
+		opt:   opt,
+	}
+	s.stopAt.Store(int32(opt.StopAtSize))
+	if !opt.Deadline.IsZero() {
+		s.deadline = opt.Deadline.UnixNano()
+	}
+	if opt.anytime() {
+		s.compAccounted = make([]atomic.Bool, len(p.comps))
+		s.evalBudget.Store(frontierEvalBudget)
 	}
 	if len(seed) > 0 {
 		s.seed = seed
 		s.bestSize.Store(int32(len(seed)))
 	}
+	if opt.Injector != nil {
+		opt.Injector.attach(s)
+		defer opt.Injector.detach()
+	}
 	if p.work.N() == 0 {
-		res.Clique = cloneSeed(s.seed)
+		s.mu.Lock()
+		if s.best != nil { // an attached Injector may have seeded it
+			res.Clique = append([]int32(nil), s.best...)
+		} else {
+			res.Clique = cloneSeed(s.seed)
+		}
+		s.mu.Unlock()
+		res.UpperBound = int32(len(res.Clique))
 		return res, nil
 	}
 
@@ -366,9 +411,22 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 			}
 		}
 	}
-	if s.stopAt > 0 && s.bestSize.Load() >= s.stopAt {
+	if st := s.stopAt.Load(); st > 0 && s.bestSize.Load() >= st {
 		s.done.Store(true) // the incumbent already meets the trusted bound
 	}
+	if s.deadline != 0 && time.Now().UnixNano() >= s.deadline {
+		s.aborted.Store(true) // budget already spent: certificate only
+	}
+
+	// Anytime mode races the auxiliary heuristic portfolio
+	// (degree-guided growth and Ramsey clique-removal, both
+	// fairness-repaired) against the branch-and-bound: in pool mode the
+	// runs are donated to spare executors of the shared scheduler, and
+	// otherwise to private goroutines joined before the result is read.
+	// Every member returns a valid fair clique, so record() trusts it;
+	// gated on Deadline so budget-free runs stay bit-deterministic.
+	var heurWG sync.WaitGroup
+	raceHeuristics := opt.UseHeuristic && !opt.Deadline.IsZero() && !s.halted()
 
 	// Lines 6-11: branch each connected component under CalColorOD.
 	// Components are searched largest-first so good incumbents surface
@@ -384,6 +442,11 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 	if opt.Pool != nil {
 		scope := opt.Pool.NewScope()
 		scope.Enter()
+		if raceHeuristics {
+			for _, fn := range heuristic.Portfolio() {
+				scope.Submit(&heurTask{scope: scope, s: s, fn: fn})
+			}
+		}
 		for ci := range p.comps {
 			if s.halted() {
 				break
@@ -393,6 +456,20 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		scope.Exit()
 		scope.Drain()
 	} else {
+		if raceHeuristics {
+			for _, fn := range heuristic.Portfolio() {
+				heurWG.Add(1)
+				go func(fn func(*graph.Graph, int32, int32) []int32) {
+					defer heurWG.Done()
+					if s.halted() {
+						return
+					}
+					if c := fn(p.work, s.k, s.delta); len(c) > 0 {
+						s.record(c, p.toOrig)
+					}
+				}(fn)
+			}
+		}
 		// Private two-level parallelism: large components get their root
 		// branches split across all Workers (so a single giant component
 		// still scales); the tail of small components — where
@@ -435,16 +512,33 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		}
 	}
 
+	heurWG.Wait()
+
 	res.Stats.Nodes = s.nodes.Load()
 	res.Stats.BoundChecks = s.boundChecks.Load()
 	res.Stats.BoundPrunes = s.boundPrunes.Load()
 	res.Stats.Donations = s.donations.Load()
-	res.Stats.Aborted = s.aborted.Load()
+	aborted := s.aborted.Load()
+	if st := s.stopAt.Load(); aborted && st > 0 && s.bestSize.Load() >= st {
+		// The incumbent meets a trusted optimum bound, so it is provably
+		// optimal even though a budget also tripped: report exact.
+		aborted = false
+	}
+	res.Stats.Aborted = aborted
+	s.mu.Lock()
 	if s.best != nil {
 		res.Clique = append([]int32(nil), s.best...)
 	} else {
 		res.Clique = cloneSeed(s.seed)
 	}
+	s.mu.Unlock()
+	if aborted {
+		s.sweepFrontier()
+		res.UpperBound = s.certifiedUB()
+	} else {
+		res.UpperBound = int32(len(res.Clique))
+	}
+	res.Stats.FrontierPriced = s.frontPriced.Load()
 	return res, nil
 }
 
@@ -464,7 +558,11 @@ type searcher struct {
 	k, delta int32
 	opt      Options
 	seed     []int32 // caller's warm-start clique, in original ids
-	stopAt   int32   // trusted optimum upper bound; 0 = none
+	deadline int64   // UnixNano wall-clock budget; 0 = none
+
+	// stopAt is the trusted optimum upper bound (0 = none). Atomic
+	// because Injector.InjectBound tightens it while workers branch.
+	stopAt atomic.Int32
 
 	mu       sync.Mutex
 	best     []int32      // in ORIGINAL graph ids
@@ -474,8 +572,16 @@ type searcher struct {
 	boundChecks atomic.Int64
 	boundPrunes atomic.Int64
 	donations   atomic.Int64
-	aborted     atomic.Bool // MaxNodes tripped: result inexact
+	aborted     atomic.Bool // MaxNodes/Deadline tripped: result inexact
 	done        atomic.Bool // StopAtSize reached: stop early, still exact
+
+	// Anytime certificate state (only allocated/used when the search
+	// has a budget — MaxNodes or Deadline — so exact runs stay
+	// byte-identical in behavior and allocation profile).
+	frontUB       atomic.Int32  // running max over priced frontier bounds
+	frontPriced   atomic.Int64  // Stats.FrontierPriced
+	evalBudget    atomic.Int64  // expensive-evaluator calls left for pricing
+	compAccounted []atomic.Bool // per-component: fully explored or soundly pruned
 }
 
 // halted reports whether branching should stop, for either reason
@@ -492,7 +598,22 @@ func (s *searcher) record(r []int32, toOrig []int32) {
 	if sz := int32(len(r)); sz > s.bestSize.Load() {
 		s.best = mapVerts(r, toOrig)
 		s.bestSize.Store(sz)
-		if s.stopAt > 0 && sz >= s.stopAt {
+		if st := s.stopAt.Load(); st > 0 && sz >= st {
+			s.done.Store(true)
+		}
+	}
+}
+
+// recordOrig is record for cliques already in ORIGINAL graph ids (the
+// Injector's seed path). The caller guarantees validity for this
+// search's (k, δ); the slice is copied.
+func (s *searcher) recordOrig(r []int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sz := int32(len(r)); sz > s.bestSize.Load() {
+		s.best = append([]int32(nil), r...)
+		s.bestSize.Store(sz)
+		if st := s.stopAt.Load(); st > 0 && sz >= st {
 			s.done.Store(true)
 		}
 	}
@@ -712,9 +833,15 @@ type worker struct {
 
 // flushEvery is the node-accounting batch size: small when an abort cap
 // must trip promptly, large otherwise to keep the shared atomic cold.
+// Deadline runs flush mid-sized — each flush is also a clock check, and
+// the deadline must fire at branch granularity, not hundreds of nodes
+// late.
 func flushEvery(opt Options) int64 {
 	if opt.MaxNodes > 0 {
 		return 8
+	}
+	if !opt.Deadline.IsZero() {
+		return 128
 	}
 	return 256
 }
@@ -749,7 +876,16 @@ func (w *worker) flushNodes() {
 	s := w.d.s
 	n := s.nodes.Add(w.localNodes)
 	w.localNodes = 0
+	if s.done.Load() {
+		// An exact early finish (StopAtSize/injected bound) already
+		// decided the run; tripping a budget now would spuriously mark
+		// an exact result inexact.
+		return
+	}
 	if s.opt.MaxNodes > 0 && n > s.opt.MaxNodes {
+		s.aborted.Store(true)
+	}
+	if s.deadline != 0 && time.Now().UnixNano() >= s.deadline {
 		s.aborted.Store(true)
 	}
 }
@@ -786,6 +922,13 @@ func (t *subtreeTask) Run() {
 	d := t.d
 	w := d.getWorker(d)
 	w.runStolen(t)
+	if d.s.aborted.Load() {
+		// The donated subtree may have been cut short (or, when it was
+		// queued behind a halt, never explored at all): price its root
+		// into the certificate. Over-pricing a subtree that actually
+		// finished just before the abort only loosens the bound.
+		w.priceTask(t)
+	}
 	w.flushNodes()
 	d.putWorker(w)
 	d.putTask(t)
@@ -816,18 +959,51 @@ func (w *worker) donate(scope *sched.Scope, depth int, cnt, avail [2]int32, cand
 
 // searchComponentPooled branches component ci serially on the calling
 // goroutine with the shared-pool donation hook armed: whenever another
-// executor of scope's pool is hungry, the next frontier subtree is
-// shipped to it instead of being recursed into locally.
+// executor of scope's pool is hungry, the next frontier subtree (a root
+// branch or any deeper node) is shipped to it instead of being recursed
+// into locally. Root branches are driven explicitly so an anytime abort
+// knows exactly which of them are unexplored and can price them into
+// the certificate.
 func (s *searcher) searchComponentPooled(ci int, scope *sched.Scope) {
 	comp := s.p.comps[ci]
-	if s.halted() || int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+	if s.halted() {
+		return // un-accounted: the frontier sweep prices the component
+	}
+	if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+		s.accountComp(ci) // provably no improvement here
 		return
 	}
 	prep := s.p.comp(ci)
 	d := &compData{compPrep: prep, s: s, steal: scope}
 	w := prep.getWorker(d)
-	w.branchRoot()
+	tasks := w.rootTasks()
+	if len(tasks) == 0 {
+		// Root prologue pruned the component (account it) — unless a
+		// halt interrupted it, in which case the sweep prices it.
+		if !s.aborted.Load() {
+			s.accountComp(ci)
+		}
+		w.flushNodes()
+		prep.putWorker(w)
+		return
+	}
+	complete := 0 // tasks[:complete] are fully explored (or donated)
+	for _, u := range tasks {
+		if s.halted() {
+			break
+		}
+		w.runRootBranchPooled(u, scope)
+		if s.halted() {
+			break // this branch may have been cut short mid-subtree
+		}
+		complete++
+	}
 	w.flushNodes()
+	if s.aborted.Load() {
+		w.priceRootBranches(tasks[complete:])
+	} else {
+		s.accountComp(ci)
+	}
 	prep.putWorker(w)
 }
 
@@ -840,7 +1016,11 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	// that has grown since — before the lazy compPrep build, so skipped
 	// components cost nothing.
 	comp := s.p.comps[ci]
-	if s.halted() || int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+	if s.halted() {
+		return // un-accounted: the frontier sweep prices the component
+	}
+	if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+		s.accountComp(ci) // provably no improvement here
 		return
 	}
 	prep := s.p.comp(ci)
@@ -852,7 +1032,10 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	// recursing.
 	driver := prep.getWorker(d)
 	tasks := driver.rootTasks()
-	if len(tasks) == 0 || s.halted() {
+	if len(tasks) == 0 {
+		if !s.aborted.Load() {
+			s.accountComp(ci) // pruned, not halted: soundly accounted
+		}
 		driver.flushNodes()
 		prep.putWorker(driver)
 		return
@@ -860,13 +1043,23 @@ func (s *searcher) searchComponent(ci int, workers int) {
 
 	if workers <= 1 {
 		// Serial: recurse into each root branch on the driver.
+		complete := 0 // tasks[:complete] are fully explored
 		for _, u := range tasks {
 			if s.halted() {
 				break
 			}
 			driver.runRootBranch(u)
+			if s.halted() {
+				break // this branch may have been cut short mid-subtree
+			}
+			complete++
 		}
 		driver.flushNodes()
+		if s.aborted.Load() {
+			driver.priceRootBranches(tasks[complete:])
+		} else {
+			s.accountComp(ci)
+		}
 		prep.putWorker(driver)
 		return
 	}
@@ -885,6 +1078,10 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	d.steal = scope
 	var next atomic.Int32
 	var wg sync.WaitGroup
+	// Claimed root branches whose subtree a halt may have cut short;
+	// priced after the join when the halt was an abort (anytime only).
+	var incMu sync.Mutex
+	var incomplete []int32
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		wk := driver
@@ -902,6 +1099,11 @@ func (s *searcher) searchComponent(ci int, workers int) {
 				if !s.halted() && int(next.Load()) < len(tasks) {
 					if t := next.Add(1) - 1; int(t) < len(tasks) {
 						wk.runRootBranch(tasks[t])
+						if s.compAccounted != nil && s.halted() {
+							incMu.Lock()
+							incomplete = append(incomplete, tasks[t])
+							incMu.Unlock()
+						}
 						continue
 					}
 				}
@@ -919,6 +1121,21 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	}
 	wg.Wait()
 	d.steal = nil
+	if s.aborted.Load() {
+		// Unclaimed root branches plus the claimed-but-interrupted ones
+		// carry the component's unexplored frontier (donated subtrees
+		// price themselves in subtreeTask.Run).
+		rest := int(next.Load())
+		if rest > len(tasks) {
+			rest = len(tasks)
+		}
+		pw := prep.getWorker(d)
+		pw.priceRootBranches(tasks[rest:])
+		pw.priceRootBranches(incomplete)
+		prep.putWorker(pw)
+	} else {
+		s.accountComp(ci)
+	}
 }
 
 // rootTasks runs the root node in collect mode and returns the root
@@ -963,6 +1180,28 @@ func (w *worker) runRootBranch(u int32) {
 		child, avail := w.makeChildSlice(1, d.allVerts, u, false)
 		w.branchSlice(1, child, cnt, avail)
 	}
+}
+
+// runRootBranchPooled is runRootBranch with the shared-pool donation
+// hook at root-branch granularity: when another executor is hungry, the
+// whole branch is shipped instead of being recursed into locally (the
+// behavior the pooled driver had when the root expansion loop ran
+// inline). Slice-oracle components never donate, matching expandSlice.
+func (w *worker) runRootBranchPooled(u int32, scope *sched.Scope) {
+	d := w.d
+	if d.succ == nil {
+		w.runRootBranch(u)
+		return
+	}
+	var cnt [2]int32
+	cnt[d.comp.Attr(u)]++
+	w.rbuf[0] = u
+	w.ensureBits(1)
+	avail := w.makeChildBits(w.cand[1], d.fullRow, u, false)
+	if avail[0]+avail[1] > 0 && scope.Hungry() && w.donate(scope, 1, cnt, avail, w.cand[1]) {
+		return
+	}
+	w.branchBits(1, cnt, avail)
 }
 
 // runStolen resumes a donated subtree on this worker: the task's R

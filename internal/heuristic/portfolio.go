@@ -1,0 +1,190 @@
+// Portfolio heuristics for the anytime search path. Beyond the paper's
+// HeurRFC framework, two classic maximum-clique constructions are
+// adapted to the (k, δ)-fairness constraint and raced against it when a
+// deadline is set:
+//
+//   - DegreeGuided follows Pattabiraman et al.'s greedy large-clique
+//     construction (grow from high-degree seeds, always picking the
+//     highest-degree surviving candidate), ignoring fairness during
+//     growth and repairing at the end.
+//   - CliqueRemoval follows Boppana–Halldórsson's Ramsey-based
+//     clique_removal (arXiv:1209.5818 lineage, as popularized by
+//     networkx.approximation): repeatedly run the Ramsey procedure and
+//     delete the independent set it certifies, keeping the best clique.
+//
+// Both exploit that any subset of a clique is a clique: an unfair
+// clique with at least k vertices of each attribute can always be
+// trimmed into a fair one (FairSubclique), so unconstrained growth
+// followed by repair can beat fairness-aware growth on skewed graphs.
+package heuristic
+
+import "fairclique/internal/graph"
+
+// FairSubclique trims an arbitrary clique (given in g's vertex ids)
+// into a (k, δ)-fair clique, or returns nil when impossible. Writing
+// na ≥ nb for the attribute counts, it keeps all nb vertices of the
+// minority attribute and min(na, nb+δ) of the majority — both counts
+// are then ≥ k (when nb ≥ k) and their difference is ≤ δ. The result
+// is a fresh slice; the input is not modified.
+func FairSubclique(g *graph.Graph, clique []int32, k, delta int32) []int32 {
+	var cnt [2]int32
+	for _, v := range clique {
+		cnt[g.Attr(v)]++
+	}
+	maj, min := 0, 1
+	if cnt[1] > cnt[0] {
+		maj, min = 1, 0
+	}
+	if cnt[min] < k {
+		return nil
+	}
+	keep := cnt[min] + delta
+	if keep > cnt[maj] {
+		keep = cnt[maj]
+	}
+	out := make([]int32, 0, cnt[min]+keep)
+	taken := int32(0)
+	for _, v := range clique {
+		if int(g.Attr(v)) == min {
+			out = append(out, v)
+		} else if taken < keep {
+			out = append(out, v)
+			taken++
+		}
+	}
+	return out
+}
+
+// DegreeGuided is the Pattabiraman-style construction: from each of the
+// top-degree seeds, greedily extend with the highest-degree candidate
+// still adjacent to everything chosen, with no fairness constraint
+// during growth. The grown clique is then fairness-repaired with
+// FairSubclique and the largest repaired clique across seeds wins.
+// Deterministic (ties to the smaller id). Returns nil when no seed
+// yields a fair clique.
+func DegreeGuided(g *graph.Graph, k, delta int32) []int32 {
+	seeds := topBy(g, func(v int32) int32 { return g.Deg(v) }, maxSeeds)
+	var best []int32
+	for _, s := range seeds {
+		if got := FairSubclique(g, growByDegree(g, s), k, delta); len(got) > len(best) {
+			best = got
+		}
+	}
+	return best
+}
+
+// growByDegree grows a maximal clique from seed, always adding the
+// highest-degree candidate (ties to the smaller id).
+func growByDegree(g *graph.Graph, seed int32) []int32 {
+	r := []int32{seed}
+	c := append([]int32(nil), g.Neighbors(seed)...)
+	for len(c) > 0 {
+		best := c[0]
+		for _, v := range c[1:] {
+			if dv, db := g.Deg(v), g.Deg(best); dv > db || (dv == db && v < best) {
+				best = v
+			}
+		}
+		r = append(r, best)
+		next := c[:0]
+		for _, v := range c {
+			if v != best && g.HasEdge(best, v) {
+				next = append(next, v)
+			}
+		}
+		c = next
+	}
+	return r
+}
+
+// cliqueRemovalCap bounds the vertex set clique_removal works on: the
+// Ramsey recursion is quadratic-ish in the candidate count, so on big
+// graphs only the top-degree vertices participate. Any clique the
+// procedure could find among low-degree vertices is small anyway.
+const cliqueRemovalCap = 2048
+
+// cliqueRemovalRounds bounds the removal iterations; each round deletes
+// at least one vertex (the Ramsey independent set is non-empty on a
+// non-empty graph), so this is a time cap, not a correctness device.
+const cliqueRemovalRounds = 32
+
+// CliqueRemoval is the Boppana–Halldórsson clique_removal adapted to
+// fairness: run the Ramsey procedure, fairness-repair the clique it
+// returns, delete the independent set it certifies, and repeat until
+// too few vertices remain to hold a fair clique. Deterministic.
+func CliqueRemoval(g *graph.Graph, k, delta int32) []int32 {
+	alive := topBy(g, func(v int32) int32 { return g.Deg(v) }, cliqueRemovalCap)
+	var best []int32
+	for round := 0; round < cliqueRemovalRounds && int32(len(alive)) >= 2*k; round++ {
+		cl, iset := ramsey(g, alive)
+		if got := FairSubclique(g, cl, k, delta); len(got) > len(best) {
+			best = got
+		}
+		if len(iset) == 0 {
+			break
+		}
+		drop := make(map[int32]struct{}, len(iset))
+		for _, v := range iset {
+			drop[v] = struct{}{}
+		}
+		next := alive[:0]
+		for _, v := range alive {
+			if _, gone := drop[v]; !gone {
+				next = append(next, v)
+			}
+		}
+		alive = next
+	}
+	return best
+}
+
+// ramsey returns a clique and an independent set of g restricted to
+// verts, both non-empty when verts is (the Ramsey recursion guarantees
+// the pivot lands in both structures across the two branches). The
+// pivot is the highest-degree vertex (ties to the smaller id), which
+// keeps the procedure deterministic and biases the clique branch
+// toward dense regions.
+func ramsey(g *graph.Graph, verts []int32) (clique, iset []int32) {
+	if len(verts) == 0 {
+		return nil, nil
+	}
+	pivot := verts[0]
+	for _, v := range verts[1:] {
+		if dv, dp := g.Deg(v), g.Deg(pivot); dv > dp || (dv == dp && v < pivot) {
+			pivot = v
+		}
+	}
+	var nbrs, rest []int32
+	for _, v := range verts {
+		if v == pivot {
+			continue
+		}
+		if g.HasEdge(pivot, v) {
+			nbrs = append(nbrs, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	c1, i1 := ramsey(g, nbrs)
+	c2, i2 := ramsey(g, rest)
+	clique = append(c1, pivot)
+	if len(c2) > len(clique) {
+		clique = c2
+	}
+	iset = append(i2, pivot)
+	if len(i1) > len(iset) {
+		iset = i1
+	}
+	return clique, iset
+}
+
+// Portfolio lists the auxiliary incumbent generators raced on spare
+// scheduler workers in anytime mode. Each returns a valid (k, δ)-fair
+// clique in g's vertex ids or nil; callers may trust the result
+// without re-validation (fuzz-tested against IsFairClique).
+func Portfolio() []func(g *graph.Graph, k, delta int32) []int32 {
+	return []func(g *graph.Graph, k, delta int32) []int32{
+		DegreeGuided,
+		CliqueRemoval,
+	}
+}

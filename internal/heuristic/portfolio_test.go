@@ -1,0 +1,140 @@
+package heuristic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairclique/internal/enum"
+	"fairclique/internal/graph"
+)
+
+func TestFairSubclique(t *testing.T) {
+	// Skewed K9: 6 a's (0..5), 3 b's (6..8).
+	b := graph.NewBuilder(9)
+	for v := 6; v < 9; v++ {
+		b.SetAttr(int32(v), graph.AttrB)
+	}
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.Build()
+	all := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8}
+
+	got := FairSubclique(g, all, 3, 0)
+	if len(got) != 6 || !g.IsFairClique(got, 3, 0) {
+		t.Fatalf("delta=0: got %v; want a fair 3+3 subclique", got)
+	}
+	got = FairSubclique(g, all, 3, 2)
+	if len(got) != 8 || !g.IsFairClique(got, 3, 2) {
+		t.Fatalf("delta=2: got %v; want a fair 5+3 subclique", got)
+	}
+	// Minority short of k: impossible.
+	if got := FairSubclique(g, all, 4, 3); got != nil {
+		t.Fatalf("k=4 with 3 b's: want nil, got %v", got)
+	}
+	if got := FairSubclique(g, nil, 1, 0); got != nil {
+		t.Fatalf("empty input: want nil, got %v", got)
+	}
+}
+
+func TestDegreeGuidedFindsSkewedClique(t *testing.T) {
+	// A skewed K10 (7 a's + 3 b's) where the fairness-aware greedy can
+	// wander: unconstrained growth finds K10, repair trims it fair.
+	b := graph.NewBuilder(10)
+	for v := 7; v < 10; v++ {
+		b.SetAttr(int32(v), graph.AttrB)
+	}
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.Build()
+	got := DegreeGuided(g, 3, 1)
+	if len(got) != 7 || !g.IsFairClique(got, 3, 1) {
+		t.Fatalf("got %v (len %d); want a fair 4+3 clique", got, len(got))
+	}
+}
+
+func TestCliqueRemovalFindsPlanted(t *testing.T) {
+	g := plantedClique(7, 60, 4)
+	got := CliqueRemoval(g, 4, 2)
+	if got == nil {
+		t.Fatal("CliqueRemoval found nothing")
+	}
+	if !g.IsFairClique(got, 4, 2) {
+		t.Fatalf("result %v is not fair", got)
+	}
+	if len(got) < 8 {
+		t.Fatalf("found %d; planted clique has 8", len(got))
+	}
+}
+
+func TestPortfolioEmptyAndInfeasible(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	// All one attribute: no fair clique exists.
+	b := graph.NewBuilder(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	mono := b.Build()
+	for i, fn := range Portfolio() {
+		if got := fn(empty, 2, 1); got != nil {
+			t.Fatalf("portfolio[%d] on empty graph: %v", i, got)
+		}
+		if got := fn(mono, 1, 3); got != nil {
+			t.Fatalf("portfolio[%d] on mono-attribute graph: %v", i, got)
+		}
+	}
+}
+
+// Every portfolio member returns a valid fair clique (or nil) that
+// never exceeds the true optimum — record() trusts them unvalidated.
+func TestPortfolioAlwaysValid(t *testing.T) {
+	f := func(seed uint64, n8, p8, k8, d8 uint8) bool {
+		n := int(n8%16) + 2
+		p := 0.2 + float64(p8%70)/100
+		k := int32(k8%3) + 1
+		delta := int32(d8 % 4)
+		g := random(seed, n, p)
+		truth := enum.BruteForceMaxFair(g, int(k), int(delta))
+		for _, fn := range Portfolio() {
+			got := fn(g, k, delta)
+			if got == nil {
+				continue
+			}
+			if !g.IsFairClique(got, int(k), int(delta)) {
+				return false
+			}
+			if len(got) > len(truth) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Portfolio members are deterministic — the anytime differential wall
+// relies on reproducible incumbents.
+func TestPortfolioDeterministic(t *testing.T) {
+	g := plantedClique(11, 80, 3)
+	for i, fn := range Portfolio() {
+		a := fn(g, 3, 1)
+		b := fn(g, 3, 1)
+		if len(a) != len(b) {
+			t.Fatalf("portfolio[%d] nondeterministic: %v vs %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("portfolio[%d] nondeterministic: %v vs %v", i, a, b)
+			}
+		}
+	}
+}

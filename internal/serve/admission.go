@@ -71,17 +71,19 @@ func (a *Admission) Blacklisted(client string) bool {
 	return bad
 }
 
-// waiter is one parked Admit call.
+// waiter is one parked Admit call. idx is its current heap position,
+// maintained by the queue so a canceled waiter can be removed eagerly
+// instead of lingering until a release happens to pop it.
 type waiter struct {
-	ch       chan struct{}
-	client   string
-	prio     int
-	seq      int64
-	granted  bool
-	canceled bool
+	ch      chan struct{}
+	client  string
+	prio    int
+	seq     int64
+	idx     int
+	granted bool
 }
 
-// waiterQueue is a max-heap on (prio desc, seq asc).
+// waiterQueue is an indexed max-heap on (prio desc, seq asc).
 type waiterQueue []*waiter
 
 func (q waiterQueue) Len() int { return len(q) }
@@ -91,13 +93,22 @@ func (q waiterQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q waiterQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *waiterQueue) Push(x any)   { *q = append(*q, x.(*waiter)) }
+func (q waiterQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *waiterQueue) Push(x any) {
+	w := x.(*waiter)
+	w.idx = len(*q)
+	*q = append(*q, w)
+}
 func (q *waiterQueue) Pop() any {
 	old := *q
 	n := len(old)
 	w := old[n-1]
 	old[n-1] = nil
+	w.idx = -1
 	*q = old[:n-1]
 	return w
 }
@@ -142,7 +153,12 @@ func (a *Admission) Admit(ctx context.Context, client string) (release func(), e
 			a.release(client)
 			return nil, ctx.Err()
 		}
-		w.canceled = true
+		// Still queued: leave the heap now so the queue depth drops
+		// immediately and the waiter cannot pin memory (the historical
+		// lazy removal left canceled waiters in the heap until some
+		// release happened to pop past them — a gate that stays full
+		// never would).
+		heap.Remove(&a.waiters, w.idx)
 		a.perClient[client]--
 		if a.perClient[client] <= 0 {
 			delete(a.perClient, client)
@@ -159,11 +175,8 @@ func (a *Admission) release(client string) {
 	if a.perClient[client]--; a.perClient[client] <= 0 {
 		delete(a.perClient, client)
 	}
-	for a.waiters.Len() > 0 {
+	if a.waiters.Len() > 0 {
 		w := heap.Pop(&a.waiters).(*waiter)
-		if w.canceled {
-			continue
-		}
 		w.granted = true
 		a.mu.Unlock()
 		close(w.ch)
@@ -186,12 +199,7 @@ type AdmissionSnapshot struct {
 // Snapshot reports the gate's current and cumulative counters.
 func (a *Admission) Snapshot() AdmissionSnapshot {
 	a.mu.Lock()
-	depth := 0
-	for _, w := range a.waiters {
-		if !w.canceled {
-			depth++
-		}
-	}
+	depth := len(a.waiters)
 	inFlight := a.inFlight
 	a.mu.Unlock()
 	return AdmissionSnapshot{

@@ -128,3 +128,67 @@ func TestAdmissionCancel(t *testing.T) {
 		t.Fatalf("gate did not drain: %+v", snap)
 	}
 }
+
+// TestAdmissionCancelLeavesQueueEagerly pins the indexed-heap removal:
+// a canceled waiter must leave the heap at cancellation time — not
+// linger until some future release pops past it — so the queue depth
+// drops immediately, even while the gate stays full, and the heap holds
+// no dead entries.
+func TestAdmissionCancelLeavesQueueEagerly(t *testing.T) {
+	a := NewAdmission(1, 0, nil, map[string]int{"vip": 10})
+	hold, err := a.Admit(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park three waiters; cancel the middle-priority one while the gate
+	// is still full, so no release can launder the removal.
+	ctxs := make([]context.CancelFunc, 3)
+	done := make(chan error, 3)
+	for i, c := range []string{"low", "vip", "mid"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ctxs[i] = cancel
+		go func() {
+			release, err := a.Admit(ctx, c)
+			if err == nil {
+				release()
+			}
+			done <- err
+		}()
+		waitForDepth(t, a, i+1)
+	}
+
+	ctxs[2]() // cancel "mid" while queued
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v", err)
+	}
+	// Depth must drop to 2 with the gate still full: the old lazy
+	// removal kept it at 3 until a release happened to pop the corpse.
+	for i := 0; i < 2000; i++ {
+		if a.Snapshot().QueueDepth == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := a.Snapshot().QueueDepth; d != 2 {
+		t.Fatalf("queue depth %d after cancel; want 2", d)
+	}
+	a.mu.Lock()
+	heapLen := a.waiters.Len()
+	a.mu.Unlock()
+	if heapLen != 2 {
+		t.Fatalf("heap holds %d waiters after cancel; want 2", heapLen)
+	}
+
+	// The survivors are granted in priority order, unaffected.
+	hold()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("surviving waiter: %v", err)
+		}
+	}
+	snap := a.Snapshot()
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("gate did not drain: %+v", snap)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal: %v; body: %s", err, data)
+	}
+}
+
+// denseGraphText builds a seeded random balanced graph in the text
+// format — dense enough that a node-budgeted (2, 1) query cannot finish.
+func denseGraphText(seed int64, n int, p float64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for v := 0; v < n; v++ {
+		attr := "a"
+		if v%2 == 1 {
+			attr = "b"
+		}
+		fmt.Fprintf(&b, "v %d %s\n", v, attr)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				fmt.Fprintf(&b, "e %d %d\n", u, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestServeInexactNeverCached drives budget-aborted queries through the
+// full HTTP path and pins the reuse contract: the answer carries
+// exact:false with a certified gap, is never cached (two identical
+// budgeted queries both miss), and a later unbudgeted query on the same
+// cell is exact, uncached, and at least as large.
+func TestServeInexactNeverCached(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	createGraph(t, ts, "any", denseGraphText(7, 40, 0.5))
+
+	budgeted := QueryRequest{K: 2, Delta: 1, MaxNodes: 1}
+	first := queryGraph(t, ts, "any", budgeted, http.StatusOK)
+	if first.Exact {
+		t.Fatal("node-budgeted query on the dense fixture finished exact; budget too loose for the test")
+	}
+	if first.Cached {
+		t.Fatal("first budgeted query reported cached")
+	}
+	if first.Gap < 0 || first.UpperBound != first.Size+first.Gap {
+		t.Fatalf("gap accounting broken: size=%d ub=%d gap=%d", first.Size, first.UpperBound, first.Gap)
+	}
+	if first.UpperBound < first.Size {
+		t.Fatalf("certificate %d below incumbent %d", first.UpperBound, first.Size)
+	}
+
+	second := queryGraph(t, ts, "any", budgeted, http.StatusOK)
+	if second.Cached {
+		t.Fatal("inexact answer was served from the cache")
+	}
+
+	// Deadline-budgeted: same contract through the other budget knob.
+	expired := queryGraph(t, ts, "any", QueryRequest{K: 2, Delta: 1, DeadlineMs: 1}, http.StatusOK)
+	if expired.Exact {
+		t.Log("1ms deadline finished exact (fast machine); cache assertions still apply")
+	} else if expired.Cached || expired.Gap < 0 {
+		t.Fatalf("deadline query: cached=%v gap=%d", expired.Cached, expired.Gap)
+	}
+
+	// The unbudgeted cell is exact and must not have been polluted by
+	// any inexact result.
+	exact := queryGraph(t, ts, "any", QueryRequest{K: 2, Delta: 1}, http.StatusOK)
+	if !exact.Exact || exact.Gap != 0 || exact.UpperBound != exact.Size {
+		t.Fatalf("exact query: exact=%v ub=%d gap=%d size=%d", exact.Exact, exact.UpperBound, exact.Gap, exact.Size)
+	}
+	if exact.Size < first.Size {
+		t.Fatalf("exact answer %d smaller than budgeted incumbent %d", exact.Size, first.Size)
+	}
+	// Only the exact answer is cacheable: re-query hits.
+	again := queryGraph(t, ts, "any", QueryRequest{K: 2, Delta: 1}, http.StatusOK)
+	if !again.Cached || again.Size != exact.Size {
+		t.Fatalf("exact answer not cached: cached=%v size=%d want=%d", again.Cached, again.Size, exact.Size)
+	}
+}
+
+// TestServeBudgetValidation rejects negative budgets with 400.
+func TestServeBudgetValidation(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	createGraph(t, ts, "g", testGraphText)
+	queryGraph(t, ts, "g", QueryRequest{K: 2, Delta: 0, DeadlineMs: -1}, http.StatusBadRequest)
+	queryGraph(t, ts, "g", QueryRequest{K: 2, Delta: 0, MaxNodes: -5}, http.StatusBadRequest)
+}
+
+// TestServeGridWithBudgets runs a grid mixing exact and budgeted cells:
+// alignment, sandwich consistency, and cache behavior per cell.
+func TestServeGridWithBudgets(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	createGraph(t, ts, "mix", denseGraphText(11, 36, 0.5))
+
+	gridBody := `{"cells":[{"k":2,"delta":1},{"k":2,"delta":1,"max_nodes":1}]}`
+	data := request(t, ts, "POST", "/graphs/mix/grid", "application/json", gridBody, http.StatusOK)
+	var out GridResponse
+	mustUnmarshal(t, data, &out)
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	exactCell, capped := out.Results[0], out.Results[1]
+	if !exactCell.Exact || exactCell.Gap != 0 {
+		t.Fatalf("exact cell: %+v", exactCell)
+	}
+	if capped.Size > exactCell.Size {
+		t.Fatalf("budgeted incumbent %d beats the exact optimum %d", capped.Size, exactCell.Size)
+	}
+	if capped.UpperBound < exactCell.Size {
+		t.Fatalf("budgeted certificate %d undercuts the optimum %d", capped.UpperBound, exactCell.Size)
+	}
+
+	// Re-running the grid: the exact cell hits the cache, a budgeted
+	// inexact cell never does.
+	data = request(t, ts, "POST", "/graphs/mix/grid", "application/json", gridBody, http.StatusOK)
+	mustUnmarshal(t, data, &out)
+	if !out.Results[0].Cached {
+		t.Fatal("exact cell missed the cache on replay")
+	}
+	if !out.Results[1].Exact && out.Results[1].Cached {
+		t.Fatal("inexact cell was served from the cache")
+	}
+}

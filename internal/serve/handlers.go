@@ -254,15 +254,31 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
-// QueryRequest is one (k, δ, mode) cell.
+// QueryRequest is one (k, δ, mode) cell, optionally budgeted: a
+// positive deadline_ms or max_nodes turns the search anytime — the
+// response then carries exact:false with a certified upper_bound/gap,
+// and is never cached.
 type QueryRequest struct {
 	K     int    `json:"k"`
 	Delta int    `json:"delta"`
 	Mode  string `json:"mode,omitempty"` // "relative" (default), "weak", "strong"
+	// DeadlineMs is this query's wall-clock budget in milliseconds
+	// (0 = none).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// MaxNodes caps this query's branch nodes (0 = none).
+	MaxNodes int64 `json:"max_nodes,omitempty"`
 }
 
 func (q QueryRequest) spec() (fairclique.QuerySpec, error) {
 	spec := fairclique.QuerySpec{K: q.K, Delta: q.Delta}
+	if q.DeadlineMs < 0 {
+		return spec, fmt.Errorf("serve: deadline_ms must be >= 0, got %d", q.DeadlineMs)
+	}
+	if q.MaxNodes < 0 {
+		return spec, fmt.Errorf("serve: max_nodes must be >= 0, got %d", q.MaxNodes)
+	}
+	spec.Deadline = time.Duration(q.DeadlineMs) * time.Millisecond
+	spec.MaxNodes = q.MaxNodes
 	switch q.Mode {
 	case "", "relative":
 		spec.Mode = fairclique.ModeRelative
@@ -276,16 +292,20 @@ func (q QueryRequest) spec() (fairclique.QuerySpec, error) {
 	return spec, nil
 }
 
-// QueryResponse is one answered cell.
+// QueryResponse is one answered cell. UpperBound certifies the optimum
+// lies in [size, upper_bound]; gap = upper_bound - size is 0 for exact
+// answers.
 type QueryResponse struct {
-	Clique []int `json:"clique"`
-	Size   int   `json:"size"`
-	CountA int   `json:"count_a"`
-	CountB int   `json:"count_b"`
-	Exact  bool  `json:"exact"`
-	Cached bool  `json:"cached"`
-	Epoch  int64 `json:"epoch"`
-	Nodes  int64 `json:"nodes"`
+	Clique     []int `json:"clique"`
+	Size       int   `json:"size"`
+	CountA     int   `json:"count_a"`
+	CountB     int   `json:"count_b"`
+	Exact      bool  `json:"exact"`
+	UpperBound int   `json:"upper_bound"`
+	Gap        int   `json:"gap"`
+	Cached     bool  `json:"cached"`
+	Epoch      int64 `json:"epoch"`
+	Nodes      int64 `json:"nodes"`
 }
 
 func queryResponse(r *fairclique.Result, cached bool, epoch int64) QueryResponse {
@@ -294,14 +314,16 @@ func queryResponse(r *fairclique.Result, cached bool, epoch int64) QueryResponse
 		clique = []int{}
 	}
 	return QueryResponse{
-		Clique: clique,
-		Size:   r.Size(),
-		CountA: r.CountA,
-		CountB: r.CountB,
-		Exact:  r.Exact,
-		Cached: cached,
-		Epoch:  epoch,
-		Nodes:  r.Stats.Nodes,
+		Clique:     clique,
+		Size:       r.Size(),
+		CountA:     r.CountA,
+		CountB:     r.CountB,
+		Exact:      r.Exact,
+		UpperBound: r.UpperBound,
+		Gap:        r.Gap,
+		Cached:     cached,
+		Epoch:      epoch,
+		Nodes:      r.Stats.Nodes,
 	}
 }
 

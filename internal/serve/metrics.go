@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 )
@@ -56,14 +57,22 @@ func (l *latencyRec) snapshot() EndpointMetrics {
 	return m
 }
 
-// quantile reads q from sorted samples (nearest-rank).
+// quantile reads q from sorted samples by the nearest-rank definition:
+// the smallest sample with at least ceil(q*n) samples <= it, i.e. index
+// ceil(q*n) - 1. The previous floor-then-clamp indexing sat one rank
+// high on most sizes — with a single sample it read index int(q*1) = 0
+// correctly but at n=2 it returned the maximum as the median.
 func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
 	}
 	return sorted[i]
 }

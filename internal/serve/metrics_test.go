@@ -1,0 +1,50 @@
+package serve
+
+import "testing"
+
+// TestQuantileNearestRank pins the nearest-rank definition on the sizes
+// that exposed the off-by-one: with samples 1..n, p50 must be sample
+// ceil(0.5n) and p99 sample ceil(0.99n). The old floor-then-clamp
+// indexing returned the maximum as the median of two samples and sat
+// one rank high almost everywhere else.
+func TestQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		n        int
+		p50, p99 float64
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{3, 2, 3},
+		{99, 50, 99},
+		{100, 50, 99},
+		{513, 257, 508},
+	}
+	for _, tc := range cases {
+		var rec latencyRec
+		for i := 1; i <= tc.n; i++ {
+			rec.observe(float64(i))
+		}
+		m := rec.snapshot()
+		if m.P50Ms != tc.p50 || m.P99Ms != tc.p99 {
+			t.Errorf("n=%d: p50=%v p99=%v; want p50=%v p99=%v",
+				tc.n, m.P50Ms, m.P99Ms, tc.p50, tc.p99)
+		}
+		if m.Count != int64(tc.n) {
+			t.Errorf("n=%d: count=%d", tc.n, m.Count)
+		}
+	}
+}
+
+// TestQuantileEdges covers the empty reservoir and out-of-range ranks.
+func TestQuantileEdges(t *testing.T) {
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	s := []float64{3, 7}
+	if got := quantile(s, 0); got != 3 {
+		t.Fatalf("q=0: %v", got)
+	}
+	if got := quantile(s, 1); got != 7 {
+		t.Fatalf("q=1: %v", got)
+	}
+}

@@ -81,6 +81,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fairclique/internal/bounds"
 	"fairclique/internal/core"
@@ -138,6 +139,18 @@ type Options struct {
 type Query struct {
 	K, Delta int32
 	Weak     bool
+
+	// Deadline, when non-zero, makes this query anytime: the search
+	// stops at the wall-clock budget and the result carries the best
+	// incumbent plus a certified upper bound (core.Result.UpperBound).
+	// Inexact answers never enter the monotonicity table or the
+	// warm-start pool.
+	Deadline time.Time
+	// MaxNodes caps this query's branch nodes (0 = no per-query cap);
+	// combined with the session-wide Options.MaxNodes the tighter cap
+	// wins. Like Deadline, a tripped cap yields an inexact answer with
+	// a certified upper bound.
+	MaxNodes int64
 }
 
 // Stats aggregates the work of every query answered so far.
@@ -189,6 +202,13 @@ type Stats struct {
 	// payoff. WorkerReleases counts executors that ran out of cells and
 	// released themselves to steal for the cells still running.
 	Steals, CrossCellSteals, WorkerReleases int64
+	// BoundInjections/SeedInjections count live broadcasts: when a
+	// cell's exact answer lands, its size is pushed as a trusted bound
+	// into every still-running search of a dominated cell and its
+	// clique as an incumbent into every search it is valid for —
+	// reaching searches that started before the answer existed, not
+	// only future ones.
+	BoundInjections, SeedInjections int64
 }
 
 // poolClique is one discovered fair clique, kept as warm-start
@@ -237,6 +257,21 @@ type Session struct {
 	mu       sync.Mutex // guards stats and redsBase
 	stats    Stats
 	redsBase reduce.CacheStats // folded-in counters of retired epochs' caches
+
+	// running registers every search currently branching, keyed by its
+	// live-injection handle, so a finishing cell can broadcast its
+	// proven bound and incumbent into them (see broadcast).
+	runMu   sync.Mutex
+	running map[*runningSearch]struct{}
+}
+
+// runningSearch is one in-flight search's entry in the live-injection
+// registry: its resolved query, the epoch it answers about, and the
+// Injector wired into its core.Options.
+type runningSearch struct {
+	q     Query // Weak already resolved to a concrete Delta
+	epoch int64
+	inj   *core.Injector
 }
 
 // New wraps g in a session. The caller must not mutate g afterwards
@@ -265,6 +300,9 @@ func validate(q Query) error {
 	}
 	if q.Delta < 0 && !q.Weak {
 		return fmt.Errorf("session: Delta must be >= 0, got %d", q.Delta)
+	}
+	if q.MaxNodes < 0 {
+		return fmt.Errorf("session: MaxNodes must be >= 0, got %d", q.MaxNodes)
 	}
 	return nil
 }
@@ -463,10 +501,15 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 			// The pooled clique meets the inherited upper bound: it IS
 			// a maximum fair clique for this cell.
 			s.recordSkip(e, q, ub)
-			return &core.Result{Clique: append([]int32(nil), seed...)}, nil
+			return &core.Result{Clique: append([]int32(nil), seed...), UpperBound: ub}, nil
 		}
 	}
 
+	// The tighter of the session-wide and per-query node caps applies.
+	maxNodes := s.opt.MaxNodes
+	if q.MaxNodes > 0 && (maxNodes == 0 || q.MaxNodes < maxNodes) {
+		maxNodes = q.MaxNodes
+	}
 	p := s.prepared(e, q.K)
 	opt := core.Options{
 		K:            int(q.K),
@@ -474,7 +517,8 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 		UseBounds:    s.opt.UseBounds,
 		Extra:        s.opt.Extra,
 		UseHeuristic: s.opt.UseHeuristic && seed == nil,
-		MaxNodes:     s.opt.MaxNodes,
+		MaxNodes:     maxNodes,
+		Deadline:     q.Deadline,
 		Workers:      workers,
 	}
 	if pool != nil {
@@ -484,7 +528,24 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 	if haveUB {
 		opt.StopAtSize = int(ub)
 	}
+
+	// Register in the live-injection registry for the lifetime of the
+	// search: concurrently finishing cells push proven bounds and valid
+	// incumbents straight into it (broadcast), instead of only seeding
+	// searches that start later.
+	inj := core.NewInjector()
+	opt.Injector = inj
+	rs := &runningSearch{q: q, epoch: e.id, inj: inj}
+	s.runMu.Lock()
+	if s.running == nil {
+		s.running = make(map[*runningSearch]struct{})
+	}
+	s.running[rs] = struct{}{}
+	s.runMu.Unlock()
 	res, err := p.Search(opt, seed)
+	s.runMu.Lock()
+	delete(s.running, rs)
+	s.runMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -510,8 +571,49 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 			s.addPoolLocked(e, res.Clique)
 		}
 		e.mu.Unlock()
+		s.broadcast(e, q, res)
 	}
 	return res, nil
+}
+
+// broadcast pushes a fresh exact answer into every search still running
+// on the same epoch: by monotonicity its size is a proven optimum upper
+// bound for any dominated cell (k' >= k, δ' <= δ), and its clique is a
+// valid incumbent for any cell whose constraints it satisfies. Running
+// searches adopt both live — the bound can finish them early and exact,
+// or tighten an anytime certificate; the incumbent sharpens pruning.
+func (s *Session) broadcast(e *epoch, q Query, res *core.Result) {
+	size := int32(res.Size())
+	var na, nb, diff int32
+	if res.Clique != nil {
+		a, b := e.g.CountAttrs(res.Clique)
+		na, nb = int32(a), int32(b)
+		if diff = na - nb; diff < 0 {
+			diff = -diff
+		}
+	}
+	var injBounds, injSeeds int64
+	s.runMu.Lock()
+	for rs := range s.running {
+		if rs.epoch != e.id {
+			continue
+		}
+		if size > 0 && q.K <= rs.q.K && q.Delta >= rs.q.Delta {
+			rs.inj.InjectBound(size)
+			injBounds++
+		}
+		if res.Clique != nil && na >= rs.q.K && nb >= rs.q.K && diff <= rs.q.Delta {
+			rs.inj.InjectSeed(res.Clique)
+			injSeeds++
+		}
+	}
+	s.runMu.Unlock()
+	if injBounds+injSeeds > 0 {
+		s.mu.Lock()
+		s.stats.BoundInjections += injBounds
+		s.stats.SeedInjections += injSeeds
+		s.mu.Unlock()
+	}
 }
 
 // recordSkip accounts a zero-branching answer on the query's epoch.

@@ -149,6 +149,41 @@ HITS=$(jqget .cache_hits)
 [ "$HITS" -ge 1 ] || fail "metrics report $HITS cache hits, want >= 1"
 jqget '.endpoints.query.p99_ms' >/dev/null || fail "metrics missing query latency block"
 
+# --- anytime: budgeted queries carry a certified gap, never cache ---
+# A deterministic dense graph (LCG edge coin flips) big enough that a
+# one-node budget and a tiny deadline both abort mid-search.
+awk 'BEGIN{
+    n = 300; s = 12345
+    for (v = 0; v < n; v++) printf "v %d %s\n", v, (v % 2 ? "b" : "a")
+    for (u = 0; u < n; u++) for (v = u + 1; v < n; v++) {
+        s = (s * 75 + 74) % 65537
+        if (s % 100 < 60) printf "e %d %d\n", u, v
+    }
+}' >"$WORK/dense.txt"
+req POST "/graphs?name=anyt" 201 -H 'Content-Type: text/plain' --data-binary @"$WORK/dense.txt"
+
+req POST /graphs/anyt/query 200 -H 'Content-Type: application/json' -d '{"k":2,"delta":1,"max_nodes":1}'
+[ "$(jqget .exact)" = false ] || fail "node-budgeted query claims exact"
+[ "$(jqget .cached)" = false ] || fail "budgeted query claims a cache hit"
+GAP=$(jqget .gap)
+[ "$GAP" -ge 0 ] || fail "budgeted query gap $GAP < 0"
+[ "$(jqget .upper_bound)" -ge "$(jqget .size)" ] || fail "certificate below incumbent"
+req POST /graphs/anyt/query 200 -H 'Content-Type: application/json' -d '{"k":2,"delta":1,"max_nodes":1}'
+[ "$(jqget .cached)" = false ] || fail "inexact answer was served from the cache"
+
+req POST /graphs/anyt/query 200 -H 'Content-Type: application/json' -d '{"k":2,"delta":1,"deadline_ms":20}'
+[ "$(jqget .exact)" = false ] || fail "20ms-deadline query on the dense graph claims exact"
+[ "$(jqget .gap)" -ge 0 ] || fail "deadline query gap $(jqget .gap) < 0"
+say "anytime ok: budgeted answers inexact, gap >= 0, never cached"
+
+# A generous deadline on the tiny demo graph finishes exact: gap 0.
+req POST /graphs/demo/query 200 -H 'Content-Type: application/json' -d '{"k":2,"delta":0,"deadline_ms":30000}'
+[ "$(jqget .exact)" = true ] || fail "generous-deadline query on demo not exact"
+[ "$(jqget .gap)" = 0 ] || fail "exact deadline query gap $(jqget .gap) != 0"
+
+# Negative budgets are client errors.
+req POST /graphs/anyt/query 400 -H 'Content-Type: application/json' -d '{"k":2,"delta":1,"deadline_ms":-1}'
+
 # --- admission: the blacklist holds on every endpoint ---------------
 req GET /graphs 403 -H 'X-Client: mallory'
 req POST /graphs/demo/query 403 -H 'X-Client: mallory' \
