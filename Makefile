@@ -20,6 +20,11 @@ MIN_SPEEDUP ?= 0
 # the gate; CI runs 2.0 — "never hold the edge list and the CSR
 # twice"). Unlike the speedup gate it is enforceable on any machine.
 MEM_RATIO ?= 0
+# SPEC selects the sched experiment's headline speculation mode (the
+# on/off ablation is recorded either way); WORKERS_CURVE its scaling
+# curve points.
+SPEC ?= on
+WORKERS_CURVE ?= 1,2,4,8
 
 .PHONY: build test test-race race bench bench-check bench-parallel bench-ingest bench-full serve-smoke
 
@@ -64,7 +69,7 @@ bench:
 	$(GO) run ./cmd/benchmark -exp core -out BENCH_core.json
 	$(GO) run ./cmd/benchmark -exp grid -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp delta -merge BENCH_core.json -out /dev/null
-	$(GO) run ./cmd/benchmark -exp sched -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp sched -spec $(SPEC) -workers-curve $(WORKERS_CURVE) -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp ingest -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp serve -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp anytime -merge BENCH_core.json -out /dev/null
@@ -82,14 +87,15 @@ bench-check:
 	$(GO) run ./cmd/benchmark -exp delta -scale $(BENCH_SCALE) -out $(BENCH_OUT_DIR)/BENCH_delta.new.json
 
 # Measure the session-global scheduler: the same grid serial (W1),
-# statically split (W4) and on the shared work-stealing pool (W4).
-# With MIN_SPEEDUP > 0 the run exits 1 unless the shared-pool W4/W1
-# speedup strictly exceeds it — the CI parallel gate (requires a
-# multi-core machine; committed BENCH records are from 1-CPU containers
-# where the ratio is ~1.0 by construction).
+# statically split (W4) and on the session-lifetime shared pool (W4),
+# plus the WORKERS_CURVE scaling curve and the speculation on/off
+# ablation at W4. With MIN_SPEEDUP > 0 the run exits 1 unless the
+# shared-pool W4/W1 speedup strictly exceeds it — the CI parallel gate
+# (requires a multi-core machine; committed BENCH records are from
+# 1-CPU containers where the ratio is ~1.0 by construction).
 bench-parallel:
 	@mkdir -p $(BENCH_OUT_DIR)
-	$(GO) run ./cmd/benchmark -exp sched -scale $(BENCH_SCALE) -min-speedup $(MIN_SPEEDUP) -out $(BENCH_OUT_DIR)/BENCH_sched.new.json
+	$(GO) run ./cmd/benchmark -exp sched -scale $(BENCH_SCALE) -spec $(SPEC) -workers-curve $(WORKERS_CURVE) -min-speedup $(MIN_SPEEDUP) -out $(BENCH_OUT_DIR)/BENCH_sched.new.json
 
 # The paper-scale ingest pipeline: stream the SNAP text of the
 # IngestGiant instance into a CSR, degeneracy-prune it at the fairness

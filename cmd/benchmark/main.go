@@ -19,9 +19,12 @@
 // "delta" measures the dynamic session: a single-edge Apply plus
 // requery on a warm Session versus NewSession plus requery on the
 // mutated graph, "sched" measures the session-global work-stealing
-// scheduler: the same grid serial, statically split and on the shared
-// pool (-min-speedup X exits 1 unless the shared-pool W4/W1 speedup
-// beats X — the bench-parallel CI gate), and "ingest" measures the
+// scheduler: the same grid serial, statically split and on the
+// session-lifetime shared pool, plus a worker scaling curve
+// (-workers-curve, default 1,2,4,8) and a speculation on/off ablation
+// at W4 (-spec selects the headline mode; -min-speedup X exits 1
+// unless the shared-pool W4/W1 speedup beats X — the bench-parallel CI
+// gate), and "ingest" measures the
 // paper-scale pipeline: SNAP text through the streaming CSR builder,
 // the degeneracy pre-prune and the component-parallel reduction on the
 // reproducible multi-million-edge instance (-max-mem-ratio gates the
@@ -42,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"fairclique/internal/bench"
@@ -58,6 +63,8 @@ func main() {
 		merge       = flag.String("merge", "", "for -exp grid/delta/sched: existing BENCH_core.json to embed the record into")
 		gridSpec    = flag.String("grid", "", "for -exp grid/sched: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
 		minSpeedup  = flag.Float64("min-speedup", 0, "for -exp sched/ingest: exit 1 unless the measured W4/W1 speedup strictly exceeds this (0 = no gate)")
+		spec        = flag.String("spec", "on", "for -exp sched: speculation mode of the shared-pool measurements, on or off (the on/off ablation is recorded either way)")
+		workersCrv  = flag.String("workers-curve", "", "for -exp sched: comma-separated worker counts of the scaling curve (default 1,2,4,8)")
 		maxMemRatio = flag.Float64("max-mem-ratio", 0, "for -exp ingest: exit 1 unless the streaming peak stays under this multiple of the final CSR bytes (0 = no gate)")
 		graphDir    = flag.String("graph-dir", "", "for -exp ingest: cache the generated SNAP instance pair in this directory")
 	)
@@ -73,7 +80,17 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	cfg := bench.Config{Scale: *scale, Out: w, MaxNodes: *maxNodes, GridSpec: *gridSpec}
+	cfg := bench.Config{Scale: *scale, Out: w, MaxNodes: *maxNodes, GridSpec: *gridSpec, SchedSpec: *spec}
+	if *workersCrv != "" {
+		for _, f := range strings.Split(*workersCrv, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchmark: bad -workers-curve entry %q\n", f)
+				os.Exit(2)
+			}
+			cfg.SchedWorkersCurve = append(cfg.SchedWorkersCurve, n)
+		}
+	}
 
 	start := time.Now()
 	if *exp == "core" {

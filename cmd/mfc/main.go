@@ -254,6 +254,7 @@ func parseDelta(spec string) (fairclique.Delta, error) {
 // per-cell answers plus the session's amortization counters.
 func runGrid(g *fairclique.Graph, specs []fairclique.QuerySpec, opt fairclique.SessionOptions, quiet bool) {
 	s := fairclique.NewSession(g, opt)
+	defer s.Close()
 	start := time.Now()
 	results, err := s.FindGrid(specs)
 	if err != nil {
@@ -297,6 +298,7 @@ func printCells(specs []fairclique.QuerySpec, results []*fairclique.Result, quie
 // component-scoped invalidation retained.
 func runApply(g *fairclique.Graph, specs []fairclique.QuerySpec, d fairclique.Delta, opt fairclique.SessionOptions, quiet bool) {
 	s := fairclique.NewSession(g, opt)
+	defer s.Close()
 	results, err := s.FindGrid(specs)
 	if err != nil {
 		fatal(err)
@@ -340,14 +342,19 @@ func printSessionStats(s *fairclique.Session) {
 	fmt.Printf("session: %d queries, %d nodes, %d reduction builds (%d chained), %d reuses, %d warm starts, %d dominance skips\n",
 		st.Queries, st.Nodes, st.ReductionBuilds, st.ReductionChained, st.ReductionReuses, st.WarmStarts, st.DominanceSkips)
 	if st.WorkerReleases > 0 {
-		fmt.Printf("scheduler: %d donations, %d steals (%d cross-cell), %d workers released to the shared pool\n",
-			st.Donations, st.Steals, st.CrossCellSteals, st.WorkerReleases)
+		fmt.Printf("scheduler: %d donations, %d steals (%d cross-cell, %d local / %d remote), %d pool searches on %d lifetime workers\n",
+			st.Donations, st.Steals, st.CrossCellSteals, st.LocalSteals, st.RemoteSteals,
+			st.PoolSearches, st.WorkerReleases)
+	}
+	if st.SpeculativeStarts > 0 {
+		fmt.Printf("speculation: %d cells launched ahead of their chain (%d committed, %d cancelled)\n",
+			st.SpeculativeStarts, st.SpeculativeWins, st.SpeculativeCancels)
 	}
 	if st.Applies > 0 {
-		fmt.Printf("dynamic: %d applies (epoch %d), %d comp preps reused, %d/%d snapshots verbatim (%d rippled), pool %d kept / %d dropped\n",
+		fmt.Printf("dynamic: %d applies (epoch %d), %d comp preps reused, %d/%d snapshots verbatim (%d rippled), pool %d kept / %d dropped, %d bridge seeds\n",
 			st.Applies, st.Epoch, st.CompPrepsReused, st.SnapshotsReused,
 			st.SnapshotsReused+st.SnapshotsPatched+st.SnapshotsRippled,
-			st.SnapshotsRippled, st.PoolRetained, st.PoolDropped)
+			st.SnapshotsRippled, st.PoolRetained, st.PoolDropped, st.BridgeSeeds)
 	}
 }
 
@@ -355,6 +362,7 @@ func printSessionStats(s *fairclique.Session) {
 // deltas interleave on stdin, mirroring the service regime.
 func runREPL(g *fairclique.Graph, opt fairclique.SessionOptions) {
 	s := fairclique.NewSession(g, opt)
+	defer s.Close()
 	fmt.Printf("session ready: %d vertices, %d edges (try 'help')\n", s.N(), s.M())
 	sc := bufio.NewScanner(os.Stdin)
 	for {

@@ -497,6 +497,24 @@ type QuerySpec struct {
 // recommended default (all reductions, the colorful-degeneracy bound,
 // heuristic seeding, serial search). The per-query parameters live in
 // QuerySpec.
+// Speculation selects how FindGrid schedules the next dominance-chain
+// cell while the current one is still branching.
+type Speculation = session.Speculation
+
+const (
+	// SpecAuto (the default) speculates the next cell onto an idle
+	// executor only when the chain is weak — the inherited bound is far
+	// above the best warm-start seed, so the predecessor's answer is
+	// unlikely to dominance-skip the cell anyway. Strong and cold
+	// chains stay strictly sequential.
+	SpecAuto = session.SpecAuto
+	// SpecOff disables speculation: cells run strictly sequentially.
+	SpecOff = session.SpecOff
+	// SpecForce speculates every non-skippable cell; intended for
+	// ablations and tests (answers never change, only the work racing).
+	SpecForce = session.SpecForce
+)
+
 type SessionOptions struct {
 	// Bound selects the extra upper bound (default UBColorfulDegeneracy).
 	Bound UpperBound
@@ -509,13 +527,19 @@ type SessionOptions struct {
 	// unlimited). Capped (inexact) answers are never reused to bound or
 	// seed later queries.
 	MaxNodes int64
-	// Workers is the total branching parallelism: a single Find spends
-	// it inside the query; FindGrid routes it through one shared
-	// work-stealing pool — one executor drives the cells in the
-	// dominance-chain order while the others steal donated search
-	// subtrees from whichever cell is branching, so every cell is
-	// searched by the whole budget and skipped cells strand no workers.
+	// Workers is the total branching parallelism. With Workers > 1 the
+	// session owns one lifetime work-stealing pool: Workers-1
+	// persistent executors are started at the first query and serve
+	// every Find, FindGrid and post-Apply requery until Close — a
+	// single Find's donated subtrees are stolen by the same executors
+	// that fan out a grid. The pool is partitioned into locality
+	// domains (one per four executors); an executor drains its own
+	// domain LIFO (cache-hot) before stealing the oldest task of a
+	// remote domain.
 	Workers int
+	// Speculation controls chain-strength-aware cell speculation in
+	// FindGrid (default SpecAuto). See the Speculation constants.
+	Speculation Speculation
 	// StaticGridSplit reverts FindGrid to statically slicing the
 	// Workers budget across concurrent cells (the pre-scheduler
 	// behavior, kept as the measured baseline of benchmark -exp sched
@@ -574,13 +598,32 @@ type SessionStats struct {
 	// PrepEvictions counts per-k prepared states evicted by the
 	// MaxPreparedK cap.
 	PrepEvictions int64
-	// Steals counts donated subtrees executed through FindGrid's shared
-	// work-stealing pool; CrossCellSteals is the subset executed by an
-	// executor that was not driving the donating cell — proof that a
-	// finished or skipped cell's worker fed another cell. WorkerReleases
-	// counts executors that ran out of cells and released themselves to
-	// steal for the cells still running.
+	// Steals counts donated subtrees executed through the session's
+	// lifetime work-stealing pool; CrossCellSteals is the subset
+	// executed by an executor that was not driving the donating cell —
+	// proof that a finished or skipped cell's worker fed another cell.
+	// LocalSteals and RemoteSteals split Steals by locality domain: a
+	// local steal pops the executor's own domain queue (cache-hot
+	// LIFO), a remote steal takes the oldest task of another domain.
+	// WorkerReleases counts executors released into the pool; with the
+	// session-lifetime pool this happens exactly once per executor, so
+	// a WorkerReleases that stays at Workers-1 across many queries is
+	// the receipt that the worker set is being reused, not rebuilt.
 	Steals, CrossCellSteals, WorkerReleases int64
+	LocalSteals, RemoteSteals               int64
+	// PoolSearches counts queries that drew on the shared pool (both
+	// Find and FindGrid cells once the session has gone parallel).
+	PoolSearches int64
+	// SpeculativeStarts, SpeculativeWins and SpeculativeCancels count
+	// FindGrid cells launched speculatively ahead of their dominance
+	// predecessor, the subset whose exact result was committed as the
+	// cell's answer, and the subset cancelled (or returned inexact and
+	// quarantined). Starts always equals wins + cancels after a grid
+	// returns.
+	SpeculativeStarts, SpeculativeWins, SpeculativeCancels int64
+	// BridgeSeeds counts warm-start cliques grown around inserted
+	// edges that merged two components during Apply.
+	BridgeSeeds int64
 	// BoundInjections and SeedInjections count live broadcasts of a
 	// solved cell's proven bound / incumbent clique into searches still
 	// running on the same graph generation.
@@ -642,6 +685,7 @@ func NewSession(g *Graph, opts ...SessionOptions) *Session {
 			SkipReduction:   o.DisableReduction,
 			MaxNodes:        o.MaxNodes,
 			Workers:         o.Workers,
+			Speculation:     o.Speculation,
 			StaticGridSplit: o.StaticGridSplit,
 			MaxPreparedK:    o.MaxPreparedK,
 			MaxPoolSeeds:    o.MaxPoolSeeds,
@@ -723,6 +767,11 @@ type ApplyStats struct {
 	// PoolRetained and PoolDropped count surviving vs destroyed
 	// warm-start cliques.
 	PoolRetained, PoolDropped int64
+	// BridgeSeeds counts warm-start cliques grown around inserted
+	// edges whose endpoints lay in different components — the merged
+	// component's seed material, drawn from both halves' pooled
+	// cliques.
+	BridgeSeeds int64
 }
 
 // Apply mutates the session's graph in place and invalidates only the
@@ -755,6 +804,7 @@ func (s *Session) Apply(d Delta) (ApplyStats, error) {
 		CompPrepsReused:  ast.CompPrepsReused,
 		PoolRetained:     ast.PoolRetained,
 		PoolDropped:      ast.PoolDropped,
+		BridgeSeeds:      ast.BridgeSeeds,
 	}, nil
 }
 
@@ -845,10 +895,26 @@ func (s *Session) Stats() SessionStats {
 		Steals:           st.Steals,
 		CrossCellSteals:  st.CrossCellSteals,
 		WorkerReleases:   st.WorkerReleases,
-		BoundInjections:  st.BoundInjections,
-		SeedInjections:   st.SeedInjections,
+		LocalSteals:      st.LocalSteals,
+		RemoteSteals:     st.RemoteSteals,
+		PoolSearches:     st.PoolSearches,
+
+		SpeculativeStarts:  st.SpeculativeStarts,
+		SpeculativeWins:    st.SpeculativeWins,
+		SpeculativeCancels: st.SpeculativeCancels,
+		BridgeSeeds:        st.BridgeSeeds,
+		BoundInjections:    st.BoundInjections,
+		SeedInjections:     st.SeedInjections,
 	}
 }
+
+// Close shuts down the session's lifetime worker pool and waits for
+// its executors to exit. Idempotent; a never-parallel session closes
+// trivially. The session stays queryable afterwards — later queries
+// simply run without the shared pool — so Close releases resources
+// without poisoning the value. Long-lived programs holding many
+// parallel sessions should Close the ones they retire.
+func (s *Session) Close() { s.inner.Close() }
 
 func toInt32(s []int) []int32 {
 	out := make([]int32, len(s))

@@ -21,15 +21,27 @@ type SchedBenchCell struct {
 	Size  int  `json:"size"`
 }
 
+// SchedCurvePoint is one worker count of the scaling curve: the same
+// grid on the session-lifetime shared pool at W workers.
+type SchedCurvePoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// SpeedupOverW1 is W1Seconds / Seconds (1.0 at the W=1 point by
+	// construction).
+	SpeedupOverW1 float64 `json:"speedup_over_w1"`
+}
+
 // SchedBenchResult records the session-global scheduler experiment
 // (`benchmark -exp sched`): the same (k, δ) grid answered by one
 // session under three scheduling modes — Workers=1 (serial), Workers=4
 // with the static per-cell split (the pre-scheduler baseline), and
-// Workers=4 on the shared work-stealing pool — with per-cell equality
-// across all three. Merged into BENCH_core.json under "sched" by
-// `make bench`; the bench-parallel CI job gates on SpeedupW4OverW1 on
-// a multi-core runner (committed records from 1-CPU containers are
-// ~1.0 by construction, which is exactly why the CI gate exists).
+// Workers=4 on the session-lifetime shared work-stealing pool — with
+// per-cell equality across all three, plus a W ∈ {1, 2, 4, 8} scaling
+// curve and a speculation on/off ablation at W4. Merged into
+// BENCH_core.json under "sched" by `make bench`; the bench-parallel CI
+// job gates on SpeedupW4OverW1 on a multi-core runner (committed
+// records from 1-CPU containers are ~1.0 by construction, which is
+// exactly why the CI gate exists).
 type SchedBenchResult struct {
 	Graph      CoreBenchGraph   `json:"graph"`
 	GridSpec   string           `json:"grid_spec"`
@@ -50,11 +62,30 @@ type SchedBenchResult struct {
 	// AllMatch is true iff every cell agreed in size across all three
 	// modes — the record is only trustworthy when it is.
 	AllMatch bool `json:"all_match"`
-	// Scheduler counters of the best shared-pool run.
+	// Scheduler counters of the best shared-pool run; LocalSteals and
+	// RemoteSteals split Steals by locality domain.
 	Donations       int64 `json:"donations"`
 	Steals          int64 `json:"steals"`
 	CrossCellSteals int64 `json:"cross_cell_steals"`
+	LocalSteals     int64 `json:"local_steals"`
+	RemoteSteals    int64 `json:"remote_steals"`
 	WorkerReleases  int64 `json:"worker_releases"`
+	// Curve is the shared-pool scaling curve over the -workers-curve
+	// counts (default 1, 2, 4, 8).
+	Curve []SchedCurvePoint `json:"curve"`
+	// SpecMode is the speculation mode ("on" = SpecAuto, "off") of the
+	// headline shared-pool and curve measurements; the ablation below
+	// measures both at W4 regardless.
+	SpecMode       string  `json:"spec_mode"`
+	SpecOnSeconds  float64 `json:"spec_on_seconds"`
+	SpecOffSeconds float64 `json:"spec_off_seconds"`
+	// SpecSpeedup is SpecOffSeconds / SpecOnSeconds: above 1.0 means
+	// speculation helped on this run.
+	SpecSpeedup float64 `json:"spec_speedup"`
+	// Speculation ledger of the best spec-on ablation run.
+	SpecStarts  int64 `json:"spec_starts"`
+	SpecWins    int64 `json:"spec_wins"`
+	SpecCancels int64 `json:"spec_cancels"`
 	// PeakAllocBytes is the sampled heap high-water mark across the
 	// measured runs (runtime.ReadMemStats).
 	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
@@ -101,12 +132,14 @@ func SchedBench(cfg Config) (res SchedBenchResult, err error) {
 			rs, err := s.FindGrid(qs)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
+				s.Close()
 				return 0, nil, stats, err
 			}
 			if rep == 0 || elapsed < best {
 				best = elapsed
 				stats = s.Stats()
 			}
+			s.Close()
 			if sizes == nil {
 				sizes = make([]int, len(rs))
 				for i, r := range rs {
@@ -144,8 +177,24 @@ func SchedBench(cfg Config) (res SchedBenchResult, err error) {
 	}
 	res.StaticW4Seconds = staticSecs
 
+	specMode := cfg.SchedSpec
+	if specMode == "" {
+		specMode = "on"
+	}
+	var headlineSpec session.Speculation
+	switch specMode {
+	case "on":
+		headlineSpec = session.SpecAuto
+	case "off":
+		headlineSpec = session.SpecOff
+	default:
+		return res, fmt.Errorf("sched bench: -spec must be on or off, got %q", specMode)
+	}
+	res.SpecMode = specMode
+
 	shared := base
 	shared.Workers = schedWorkers
+	shared.Speculation = headlineSpec
 	sharedSecs, sharedSizes, sharedStats, err := measure(shared)
 	if err != nil {
 		return res, err
@@ -154,6 +203,8 @@ func SchedBench(cfg Config) (res SchedBenchResult, err error) {
 	res.Donations = sharedStats.Donations
 	res.Steals = sharedStats.Steals
 	res.CrossCellSteals = sharedStats.CrossCellSteals
+	res.LocalSteals = sharedStats.LocalSteals
+	res.RemoteSteals = sharedStats.RemoteSteals
 	res.WorkerReleases = sharedStats.WorkerReleases
 
 	for i := range qs {
@@ -165,6 +216,78 @@ func SchedBench(cfg Config) (res SchedBenchResult, err error) {
 		res.SpeedupW4OverW1 = res.W1Seconds / res.SharedW4Seconds
 		res.SpeedupSharedOverStatic = res.StaticW4Seconds / res.SharedW4Seconds
 	}
+
+	// The scaling curve: the same grid on the shared pool at each
+	// requested worker count (already-measured points are reused).
+	curveWorkers := cfg.SchedWorkersCurve
+	if len(curveWorkers) == 0 {
+		curveWorkers = []int{1, 2, 4, 8}
+	}
+	for _, wk := range curveWorkers {
+		var secs float64
+		switch {
+		case wk <= 1:
+			secs = res.W1Seconds
+		case wk == schedWorkers:
+			secs = res.SharedW4Seconds
+		default:
+			opt := base
+			opt.Workers = wk
+			opt.Speculation = headlineSpec
+			s, sizes, _, err := measure(opt)
+			if err != nil {
+				return res, err
+			}
+			for i := range qs {
+				if sizes[i] != w1Sizes[i] {
+					res.AllMatch = false
+				}
+			}
+			secs = s
+		}
+		pt := SchedCurvePoint{Workers: wk, Seconds: secs}
+		if secs > 0 {
+			pt.SpeedupOverW1 = res.W1Seconds / secs
+		}
+		res.Curve = append(res.Curve, pt)
+	}
+
+	// Speculation ablation at W4: the identical grid with the
+	// chain-strength speculation enabled and disabled. The headline
+	// measurement already covers one side.
+	measureSpec := func(spec session.Speculation) (float64, session.Stats, error) {
+		if spec == headlineSpec {
+			return res.SharedW4Seconds, sharedStats, nil
+		}
+		opt := base
+		opt.Workers = schedWorkers
+		opt.Speculation = spec
+		secs, sizes, st, err := measure(opt)
+		if err != nil {
+			return 0, st, err
+		}
+		for i := range qs {
+			if sizes[i] != w1Sizes[i] {
+				res.AllMatch = false
+			}
+		}
+		return secs, st, nil
+	}
+	onSecs, onStats, err := measureSpec(session.SpecAuto)
+	if err != nil {
+		return res, err
+	}
+	offSecs, _, err := measureSpec(session.SpecOff)
+	if err != nil {
+		return res, err
+	}
+	res.SpecOnSeconds, res.SpecOffSeconds = onSecs, offSecs
+	if onSecs > 0 {
+		res.SpecSpeedup = offSecs / onSecs
+	}
+	res.SpecStarts = onStats.SpeculativeStarts
+	res.SpecWins = onStats.SpeculativeWins
+	res.SpecCancels = onStats.SpeculativeCancels
 	return res, nil
 }
 

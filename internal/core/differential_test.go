@@ -270,7 +270,7 @@ func TestDonationFeedsHungryWorker(t *testing.T) {
 		t.Fatalf("fixture has %d components, want 1", got)
 	}
 	d := s.newCompData(s.p.comps[0])
-	pool := sched.NewPool()
+	pool := sched.NewPool(2)
 	scope := pool.NewScope()
 	d.steal = scope
 
@@ -296,7 +296,7 @@ func TestDonationFeedsHungryWorker(t *testing.T) {
 		runtime.Gosched()
 	}
 	scope.Exit()
-	scope.Drain()
+	scope.Drain(0)
 	pool.Close()
 	<-done
 

@@ -143,6 +143,13 @@ type Options struct {
 	// donations up. The search still returns only after every donated
 	// subtree has finished, wherever it ran.
 	Pool *sched.Pool
+	// PoolDomain is the locality domain of the driving goroutine when
+	// Pool is set (see internal/sched): donated subtrees are queued in
+	// this domain, so same-domain executors steal them LIFO and
+	// cache-hot while remote domains steal FIFO. The session layer
+	// assigns drivers round-robin via Pool.AssignDomain; 0 is always
+	// valid.
+	PoolDomain int
 }
 
 // Stats reports search effort, for the experiment harness.
@@ -440,11 +447,12 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 	// the search returns only once its ledger proves every donated
 	// subtree finished, whichever search's executor ran it.
 	if opt.Pool != nil {
+		dom := opt.PoolDomain
 		scope := opt.Pool.NewScope()
 		scope.Enter()
 		if raceHeuristics {
 			for _, fn := range heuristic.Portfolio() {
-				scope.Submit(&heurTask{scope: scope, s: s, fn: fn})
+				scope.Submit(&heurTask{scope: scope, s: s, fn: fn}, dom)
 			}
 		}
 		for ci := range p.comps {
@@ -454,7 +462,7 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 			s.searchComponentPooled(ci, scope)
 		}
 		scope.Exit()
-		scope.Drain()
+		scope.Drain(dom)
 	} else {
 		if raceHeuristics {
 			for _, fn := range heuristic.Portfolio() {
@@ -532,11 +540,26 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		res.Clique = cloneSeed(s.seed)
 	}
 	s.mu.Unlock()
-	if aborted {
+	switch {
+	case !aborted:
+		res.UpperBound = int32(len(res.Clique))
+	case s.compAccounted != nil:
 		s.sweepFrontier()
 		res.UpperBound = s.certifiedUB()
-	} else {
-		res.UpperBound = int32(len(res.Clique))
+	default:
+		// Aborted without the pricing machinery armed: an external
+		// Injector.Cancel stopped an exact-mode run. No frontier was
+		// priced, so the only sound certificate is the whole reduced
+		// graph, clamped to any trusted bound and floored at the
+		// incumbent.
+		ub := int32(p.work.N())
+		if st := s.stopAt.Load(); st > 0 && st < ub {
+			ub = st
+		}
+		if bs := int32(len(res.Clique)); bs > ub {
+			ub = bs
+		}
+		res.UpperBound = ub
 	}
 	res.Stats.FrontierPriced = s.frontPriced.Load()
 	return res, nil
@@ -683,6 +706,7 @@ func (c *compPrep) getWorker(d *compData) *worker {
 	w.collect = nil
 	w.localNodes = 0
 	w.flushEvery = flushEvery(d.s.opt)
+	w.dom = 0
 	return w
 }
 
@@ -829,6 +853,12 @@ type worker struct {
 
 	localNodes int64 // batched into searcher.nodes by flushNodes
 	flushEvery int64
+
+	// dom is the locality domain of the executor currently driving this
+	// worker (see internal/sched): donations are queued there so they
+	// are stolen cache-hot by same-domain executors first. Rebound every
+	// time the worker is handed to an executor.
+	dom int
 }
 
 // flushEvery is the node-accounting batch size: small when an abort cap
@@ -918,9 +948,10 @@ func (t *subtreeTask) TaskScope() *sched.Scope { return t.scope }
 // cannot carry pre-bound arenas for this component — runs the subtree
 // to completion against the donating search's incumbent, and recycles
 // both the worker and the task buffer.
-func (t *subtreeTask) Run() {
+func (t *subtreeTask) Run(dom int) {
 	d := t.d
 	w := d.getWorker(d)
+	w.dom = dom // re-donations from this subtree stay in the executor's domain
 	w.runStolen(t)
 	if d.s.aborted.Load() {
 		// The donated subtree may have been cut short (or, when it was
@@ -952,7 +983,7 @@ func (w *worker) donate(scope *sched.Scope, depth int, cnt, avail [2]int32, cand
 	t.r = append(t.r[:0], w.rbuf[:depth]...)
 	t.cnt, t.avail = cnt, avail
 	cand.CopyInto(t.cand)
-	scope.Submit(t)
+	scope.Submit(t, w.dom)
 	d.s.donations.Add(1)
 	return true
 }
@@ -976,6 +1007,7 @@ func (s *searcher) searchComponentPooled(ci int, scope *sched.Scope) {
 	prep := s.p.comp(ci)
 	d := &compData{compPrep: prep, s: s, steal: scope}
 	w := prep.getWorker(d)
+	w.dom = s.opt.PoolDomain // the driver donates into its own domain
 	tasks := w.rootTasks()
 	if len(tasks) == 0 {
 		// Root prologue pruned the component (account it) — unless a
@@ -1073,7 +1105,7 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	// and immediately receive donated subtrees. Every worker Enters
 	// before its goroutine starts, so the scope's ledger can never
 	// momentarily read zero while peers are still spinning up.
-	pool := sched.NewPool()
+	pool := sched.NewPool(workers)
 	scope := pool.NewScope()
 	d.steal = scope
 	var next atomic.Int32
@@ -1088,9 +1120,11 @@ func (s *searcher) searchComponent(ci int, workers int) {
 		if i > 0 {
 			wk = prep.getWorker(d)
 		}
+		wk.dom = pool.AssignDomain()
 		scope.Enter()
 		go func(wk *worker) {
 			defer wg.Done()
+			dom := wk.dom
 			for {
 				// The Load guard keeps the cursor bounded (at most one
 				// overshoot per worker): without it, every donation
@@ -1116,7 +1150,7 @@ func (s *searcher) searchComponent(ci int, workers int) {
 			// just returned its arenas to) until the component's ledger
 			// is empty.
 			scope.Exit()
-			scope.Drain()
+			scope.Drain(dom)
 		}(wk)
 	}
 	wg.Wait()

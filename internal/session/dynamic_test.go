@@ -473,3 +473,69 @@ func TestApplyEmptyDeltaNoOp(t *testing.T) {
 		t.Fatalf("empty delta counted: %+v", st)
 	}
 }
+
+// A bridge insert that merges two components must seed the merged
+// component from the union of the halves' pooled cliques: two balanced
+// K6 halves joined by all 36 cross edges become K12, the insertion
+// floor relaxes the (1, 0) bound to exactly 2 + |N(u) ∩ N(v)| = 12,
+// and the grown bridge clique meets it — so the post-merge requery is
+// answered with zero branching where it would otherwise start cold.
+func TestApplyBridgeInsertSeedsMergedComponent(t *testing.T) {
+	b := graph.NewBuilder(12)
+	for half := 0; half < 2; half++ {
+		base := int32(half * 6)
+		for v := int32(0); v < 6; v++ {
+			a := graph.AttrB
+			if v < 3 {
+				a = graph.AttrA
+			}
+			b.SetAttr(base+v, a)
+		}
+		for u := int32(0); u < 6; u++ {
+			for v := u + 1; v < 6; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+	}
+	s := New(b.Build(), Options{})
+	q := Query{K: 1, Delta: 0}
+	if res, err := s.Find(q); err != nil || res.Size() != 6 {
+		t.Fatalf("pre-merge optimum %v, %v; want 6", res, err)
+	}
+
+	d := &graph.Delta{}
+	for u := int32(0); u < 6; u++ {
+		for v := int32(6); v < 12; v++ {
+			d.AddEdges = append(d.AddEdges, [2]int32{u, v})
+		}
+	}
+	ast, err := s.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.BridgeSeeds < 1 {
+		t.Fatalf("component-merging insert produced %d bridge seeds, want >= 1", ast.BridgeSeeds)
+	}
+
+	before := s.Stats()
+	res, err := s.Find(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 12 {
+		t.Fatalf("post-merge optimum %d, want the full K12", res.Size())
+	}
+	if !s.Graph().IsFairClique(res.Clique, 1, 0) {
+		t.Fatal("bridge-seeded answer is not a fair clique")
+	}
+	st := s.Stats()
+	if st.DominanceSkips != before.DominanceSkips+1 {
+		t.Fatal("bridge seed + insertion floor did not dominance-skip the requery")
+	}
+	if st.Nodes != before.Nodes {
+		t.Fatalf("requery branched %d nodes despite the bridge seed", st.Nodes-before.Nodes)
+	}
+	if st.BridgeSeeds != ast.BridgeSeeds {
+		t.Fatalf("session stats carry %d bridge seeds, Apply reported %d", st.BridgeSeeds, ast.BridgeSeeds)
+	}
+}

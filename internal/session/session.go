@@ -78,6 +78,7 @@ package session
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -130,7 +131,40 @@ type Options struct {
 	// MaxPoolSeeds bounds the warm-start clique pool; the smallest
 	// pooled cliques are dropped first beyond the cap. 0 = unlimited.
 	MaxPoolSeeds int
+	// Speculation selects the chain-strength-aware speculation policy
+	// for grid chains driven on the shared pool (see the Speculation
+	// constants). The zero value is SpecAuto.
+	Speculation Speculation
 }
+
+// Speculation is the FindGrid look-ahead policy. The dominance chain is
+// normally driven strictly sequentially — a stricter cell started
+// before the looser cell that bounds it was measured to branch 2.4× the
+// nodes on a strong chain. Speculation recovers concurrency exactly
+// where that measurement does not apply: when the chain is *weak* (the
+// inherited bound sits far above the best pooled seed, so the
+// predecessor's answer is unlikely to dominance-skip the cell anyway),
+// the next cell is launched on an idle executor while its predecessor
+// is still branching, wired through core.Injector so the predecessor's
+// answer is bound/seed-injected into it the moment it lands — or the
+// speculated search is cancelled outright if that answer proves the
+// cell skippable. Cancelled/inexact speculative results are quarantined
+// exactly like anytime results (never pooled, tabled, or broadcast).
+type Speculation int
+
+const (
+	// SpecAuto speculates only on weak chains with a known bound:
+	// cells whose inherited upper bound is more than twice the best
+	// pooled seed. Cold chains (no bound yet) stay sequential — that is
+	// where the 2.4× blow-up was measured.
+	SpecAuto Speculation = iota
+	// SpecOff never speculates: the chain is strictly sequential.
+	SpecOff
+	// SpecForce speculates on every non-skippable cell with an idle
+	// executor, bound or no bound. Answers remain exact (the fuzz wall
+	// runs with SpecForce); intended for tests and ablations.
+	SpecForce
+)
 
 // Query is one (k, δ) cell. Strong fairness is δ = 0; weak fairness
 // (no balance constraint) is requested with Weak, which resolves δ to
@@ -196,12 +230,35 @@ type Stats struct {
 	// PrepEvictions counts per-k prepared states evicted by the
 	// MaxPreparedK LRU cap.
 	PrepEvictions int64
-	// Steals counts donated subtrees executed through FindGrid's shared
-	// work-stealing pool; CrossCellSteals is the subset executed by an
-	// executor that was not driving the donating cell — the cross-cell
-	// payoff. WorkerReleases counts executors that ran out of cells and
-	// released themselves to steal for the cells still running.
+	// Steals counts donated subtrees executed through the session's
+	// shared work-stealing pool; CrossCellSteals is the subset executed
+	// by an executor that was not driving the donating search — the
+	// cross-search payoff. WorkerReleases counts executors released to
+	// the pool; under the session-lifetime pool each persistent
+	// executor is released exactly once, so a WorkerReleases that stays
+	// at Workers-1 across many queries is the worker-reuse receipt.
 	Steals, CrossCellSteals, WorkerReleases int64
+	// LocalSteals/RemoteSteals split Steals by locality domain: tasks
+	// popped LIFO from the executor's own domain (cache-hot) vs taken
+	// FIFO from a remote domain (see internal/sched).
+	LocalSteals, RemoteSteals int64
+	// PoolSearches counts searches that drew on the session-lifetime
+	// shared pool — Find calls, FindGrid cells and post-Apply requeries
+	// alike.
+	PoolSearches int64
+	// SpeculativeStarts/Wins/Cancels count chain-strength-aware
+	// speculation: cells of a weak dominance chain launched on idle
+	// executors ahead of their predecessor (starts), whose exact result
+	// was committed (wins), or which were cancelled / came back inexact
+	// and were quarantined (cancels). starts == wins + cancels when no
+	// speculation is in flight.
+	SpeculativeStarts, SpeculativeWins, SpeculativeCancels int64
+	// BridgeSeeds counts warm-start cliques grown around bridge inserts
+	// by Apply: when an inserted edge merges two components, a greedy
+	// clique over the edge's common neighborhood — preferring vertices
+	// from the halves' pooled cliques — is pooled so the merged
+	// component's first query starts warm instead of cold.
+	BridgeSeeds int64
 	// BoundInjections/SeedInjections count live broadcasts: when a
 	// cell's exact answer lands, its size is pushed as a trusted bound
 	// into every still-running search of a dominated cell and its
@@ -248,6 +305,9 @@ type epoch struct {
 
 // Session is a prepared multi-query engine over one mutable graph. It
 // is safe for concurrent use, including queries racing an Apply.
+// Sessions with Workers > 1 own a lazily created session-lifetime
+// worker pool; call Close when done with such a session to shut its
+// executors down (queries after Close still work, serially).
 type Session struct {
 	opt Options
 
@@ -257,6 +317,18 @@ type Session struct {
 	mu       sync.Mutex // guards stats and redsBase
 	stats    Stats
 	redsBase reduce.CacheStats // folded-in counters of retired epochs' caches
+
+	// The session-lifetime scheduler: one persistent worker set created
+	// lazily at the first parallel query and serving every search until
+	// Close — Find, FindGrid cells, and requeries after Apply all draw
+	// from it (the pool is epoch-independent: tasks carry their own
+	// epoch's state, so Apply never touches it). spec is the
+	// speculation admission ledger riding the same pool.
+	poolMu sync.Mutex
+	pool   *sched.Pool
+	poolWG sync.WaitGroup
+	spec   *sched.SpecLedger
+	closed bool
 
 	// running registers every search currently branching, keyed by its
 	// live-injection handle, so a finishing cell can broadcast its
@@ -293,6 +365,56 @@ func New(g *graph.Graph, opt Options) *Session {
 // (the latest epoch's).
 func (s *Session) Graph() *graph.Graph { return s.cur.Load().g }
 
+// sharedPool returns the session-lifetime worker pool, creating it —
+// and launching its Workers-1 persistent executors — on first use. Nil
+// when the session is serial (Workers <= 1), configured for the static
+// split baseline, or closed; callers then run the private code path.
+func (s *Session) sharedPool() *sched.Pool {
+	if s.opt.Workers <= 1 || s.opt.StaticGridSplit {
+		return nil
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if s.pool == nil {
+		s.pool = sched.NewPool(s.opt.Workers)
+		s.spec = s.pool.NewSpecLedger()
+		for c := 1; c < s.opt.Workers; c++ {
+			s.poolWG.Add(1)
+			go func() {
+				defer s.poolWG.Done()
+				s.pool.Serve()
+			}()
+		}
+		// Wait until every executor has entered Serve so WorkerReleases
+		// is deterministic from the first query on: it reads Workers-1
+		// for the whole session lifetime, never a partial launch.
+		for s.pool.Stats().Releases < int64(s.opt.Workers-1) {
+			runtime.Gosched()
+		}
+	}
+	return s.pool
+}
+
+// Close shuts down the session-lifetime worker pool and waits for its
+// executors to exit. Idempotent and safe to call on a session that
+// never went parallel. The session stays usable afterwards — queries
+// simply run without the shared pool — so Close is a resource release,
+// not a poisoning.
+func (s *Session) Close() {
+	s.poolMu.Lock()
+	already := s.closed
+	s.closed = true
+	p := s.pool // kept for Stats: the counters outlive the executors
+	s.poolMu.Unlock()
+	if p != nil && !already {
+		p.Close()
+		s.poolWG.Wait()
+	}
+}
+
 // validate rejects malformed queries before any state is touched.
 func validate(q Query) error {
 	if q.K < 1 {
@@ -308,16 +430,22 @@ func validate(q Query) error {
 }
 
 // Find answers a single query, reusing everything previous queries
-// built. The full Workers budget goes into this one search.
+// built. Parallel sessions route it through the session-lifetime pool:
+// the calling goroutine drives the search and donates frontier subtrees
+// to the persistent executors — the same worker set FindGrid and
+// post-Apply requeries draw from, so a single Find steals too.
 func (s *Session) Find(q Query) (*core.Result, error) {
 	if err := validate(q); err != nil {
 		return nil, err
+	}
+	if pool := s.sharedPool(); pool != nil {
+		return s.find(q, 1, pool, nil, 0)
 	}
 	workers := s.opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	return s.find(q, workers, nil)
+	return s.find(q, workers, nil, nil, 0)
 }
 
 // FindGrid answers a batch of cells and returns results aligned with
@@ -367,10 +495,59 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 
 	results := make([]*core.Result, len(qs))
 	errs := make([]error, len(qs))
+	pool := s.sharedPool()
 	switch {
-	case cells <= 1:
+	case pool != nil:
+		// Session-global work stealing on the lifetime pool. Cells are
+		// driven strictly in chain order (k-ascending, δ-descending) —
+		// measurements on the bigcomp-giant grid showed that running
+		// cells concurrently costs 2.4x the branch nodes on a strong
+		// chain, because a stricter cell that starts before the looser
+		// cell that would bound and seed it branches a full tree instead
+		// of dominance-skipping. The persistent Workers-1 executors
+		// steal donated subtrees from whichever cell is branching, so
+		// every cell is searched by the whole budget and a
+		// dominance-skipped cell strands nobody. On *weak* chains — the
+		// inherited bound far above the best seed, so the predecessor's
+		// answer will not skip the cell anyway — the next cell is
+		// additionally speculated onto an idle executor (see
+		// Speculation); its predecessor's resolution bound-injects or
+		// cancels it through the wired Injector.
+		var sp *specRun
+		for pos := 0; pos < len(order); pos++ {
+			i := order[pos]
+			if sp != nil && sp.idx == i {
+				res, err, ok := s.resolveSpec(sp, qs[i])
+				sp = nil
+				if ok {
+					results[i], errs[i] = res, err
+					continue
+				}
+				// Cancelled or inexact: quarantined; drive the cell
+				// normally below (usually a cheap dominance skip now).
+			}
+			if sp == nil && pos+1 < len(order) {
+				j := order[pos+1]
+				if s.specAdmit(qs[j]) {
+					sp = s.launchSpec(qs[j], j, pool)
+				}
+			}
+			results[i], errs[i] = s.find(qs[i], 1, pool, nil, 0)
+		}
+		if sp != nil {
+			// A trailing speculation with no successor iteration (its
+			// predecessor errored out of order): resolve it anyway so the
+			// ledger never leaks an outstanding entry.
+			if res, err, ok := s.resolveSpec(sp, qs[sp.idx]); ok {
+				results[sp.idx], errs[sp.idx] = res, err
+			}
+		}
+	case cells <= 1 || !s.opt.StaticGridSplit:
+		// No shared pool (serial session, or one already closed): each
+		// cell runs with the full private Workers budget, still in
+		// chain order.
 		for _, i := range order {
-			results[i], errs[i] = s.find(qs[i], workers, nil)
+			results[i], errs[i] = s.find(qs[i], workers, nil, nil, 0)
 		}
 	case s.opt.StaticGridSplit:
 		// Baseline scheduler: the Workers budget is sliced across the
@@ -392,7 +569,7 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 			go func(perCell int) {
 				defer wg.Done()
 				for i := range jobs {
-					results[i], errs[i] = s.find(qs[i], perCell, nil)
+					results[i], errs[i] = s.find(qs[i], perCell, nil, nil, 0)
 				}
 			}(perCell)
 		}
@@ -401,44 +578,6 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 		}
 		close(jobs)
 		wg.Wait()
-	default:
-		// Session-global work stealing. Cells are driven strictly in
-		// chain order (k-ascending, δ-descending) — measurements on the
-		// bigcomp-giant grid showed that running cells concurrently
-		// costs 2.4x the branch nodes, because a stricter cell that
-		// starts before the looser cell that would bound and seed it
-		// branches a full tree instead of dominance-skipping; the chain
-		// is worth far more than cell-level concurrency. All remaining
-		// parallelism becomes work stealing instead: the other
-		// Workers-1 executors serve the shared pool from the start, so
-		// whichever cell is currently branching is fed to the whole
-		// budget by subtree donation, a dominance-skipped cell costs
-		// nothing and strands nobody, and the thieves persist across
-		// cell boundaries — the executor that just drained one cell's
-		// subtrees immediately steals from the next cell's, whatever
-		// its (k, δ, mode). The driver closes the pool after the last
-		// cell's ledger has drained, so Serve never abandons queued
-		// work.
-		pool := sched.NewPool()
-		var wg sync.WaitGroup
-		for c := 1; c < workers; c++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				pool.Serve()
-			}()
-		}
-		for _, i := range order {
-			results[i], errs[i] = s.find(qs[i], 1, pool)
-		}
-		pool.Close()
-		wg.Wait()
-		ps := pool.Stats()
-		s.mu.Lock()
-		s.stats.Steals += ps.Steals
-		s.stats.CrossCellSteals += ps.CrossCellSteals
-		s.stats.WorkerReleases += ps.Releases
-		s.mu.Unlock()
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -457,6 +596,23 @@ func (s *Session) Stats() Stats {
 	base := s.redsBase
 	s.mu.Unlock()
 	st.Epoch = e.id
+	// The scheduler counters live on the session-lifetime pool (they
+	// are cumulative across every search it ever served, surviving
+	// Apply and Close); the speculation counters on its ledger.
+	s.poolMu.Lock()
+	pool, led := s.pool, s.spec
+	s.poolMu.Unlock()
+	if pool != nil {
+		ps := pool.Stats()
+		st.Steals += ps.Steals
+		st.CrossCellSteals += ps.CrossCellSteals
+		st.LocalSteals += ps.LocalSteals
+		st.RemoteSteals += ps.RemoteSteals
+		st.WorkerReleases += ps.Releases
+	}
+	if led != nil {
+		st.SpeculativeStarts, st.SpeculativeWins, st.SpeculativeCancels = led.Stats()
+	}
 	st.ReductionBuilds += base.Builds
 	st.ReductionChained += base.Chained
 	st.ReductionReuses += base.Hits
@@ -474,9 +630,11 @@ func (s *Session) Stats() Stats {
 // bound lookup, prepared state, result registration — happens against
 // it, so a concurrent Apply never mixes two graphs inside one query.
 // With pool non-nil the search runs in shared-pool mode: the calling
-// goroutine branches serially and donates subtrees to hungry pool
-// executors instead of spawning its own workers.
-func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, error) {
+// goroutine branches serially (in locality domain dom) and donates
+// subtrees to hungry pool executors instead of spawning its own
+// workers. inj, when non-nil, is the caller's pre-wired Injector (the
+// speculation path cancels through it); nil allocates a fresh one.
+func (s *Session) find(q Query, workers int, pool *sched.Pool, inj *core.Injector, dom int) (*core.Result, error) {
 	e := s.cur.Load()
 	if q.Weak {
 		q.Delta = e.g.N() // no balance constraint at this epoch's size
@@ -524,6 +682,10 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 	if pool != nil {
 		opt.Workers = 1 // parallelism comes from the pool's executors
 		opt.Pool = pool
+		opt.PoolDomain = dom
+		s.mu.Lock()
+		s.stats.PoolSearches++
+		s.mu.Unlock()
 	}
 	if haveUB {
 		opt.StopAtSize = int(ub)
@@ -533,7 +695,9 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 	// search: concurrently finishing cells push proven bounds and valid
 	// incumbents straight into it (broadcast), instead of only seeding
 	// searches that start later.
-	inj := core.NewInjector()
+	if inj == nil {
+		inj = core.NewInjector()
+	}
 	opt.Injector = inj
 	rs := &runningSearch{q: q, epoch: e.id, inj: inj}
 	s.runMu.Lock()
@@ -574,6 +738,116 @@ func (s *Session) find(q Query, workers int, pool *sched.Pool) (*core.Result, er
 		s.broadcast(e, q, res)
 	}
 	return res, nil
+}
+
+// specRun is one in-flight speculative cell: the next cell of a weak
+// dominance chain launched on an idle executor ahead of its
+// predecessor. inj is wired into the speculated search, so the driver
+// can cancel it; because the search also registers in the running map,
+// the predecessor's broadcast bound/seed-injects it automatically.
+type specRun struct {
+	idx  int // index into the caller's qs
+	inj  *core.Injector
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// specAdmit decides whether the given cell should be speculated,
+// combining the chain-strength score with the ledger's admission
+// check (an executor must be idle; at most one speculation
+// outstanding). The score is the GridTable/clique-pool spread: the
+// inherited upper bound minus the best pooled seed. A cell whose bound
+// already proves it skippable is never speculated (the sequential skip
+// is free); a cell with no inherited bound is a cold chain and stays
+// sequential under SpecAuto — the 2.4× node blow-up that killed
+// cell-level concurrency was measured exactly there.
+func (s *Session) specAdmit(q Query) bool {
+	if s.opt.Speculation == SpecOff {
+		return false
+	}
+	if q.MaxNodes > 0 || !q.Deadline.IsZero() || s.opt.MaxNodes > 0 {
+		// Anytime cells stay sequential: a budgeted speculative run
+		// would come back inexact, be quarantined, and re-run — paying
+		// the budget twice for nothing.
+		return false
+	}
+	e := s.cur.Load()
+	if q.Weak {
+		q.Delta = e.g.N()
+	}
+	e.mu.Lock()
+	ub, haveUB := e.table.UpperBound(q.K, q.Delta)
+	seed := bestSeedLocked(e, q)
+	e.mu.Unlock()
+	if haveUB && (ub < 2*q.K || int32(len(seed)) == ub) {
+		return false // skippable: sequential answers it with zero branching
+	}
+	weak := false
+	switch {
+	case s.opt.Speculation == SpecForce:
+		weak = true
+	case !haveUB:
+		weak = false // cold chain: strictly sequential
+	default:
+		weak = ub > 2*int32(len(seed)) // bound far above the seed
+	}
+	if !weak {
+		return false
+	}
+	return s.spec.TryStart()
+}
+
+// launchSpec starts the admitted cell on its own driver goroutine,
+// drawing on the same shared pool (in a fresh locality domain, so its
+// donations do not interleave with the predecessor's cache-hot queue).
+// The caller resolves the run via resolveSpec.
+func (s *Session) launchSpec(q Query, idx int, pool *sched.Pool) *specRun {
+	sp := &specRun{idx: idx, inj: core.NewInjector(), done: make(chan struct{})}
+	dom := pool.AssignDomain()
+	go func() {
+		defer close(sp.done)
+		sp.res, sp.err = s.find(q, 1, pool, sp.inj, dom)
+	}()
+	return sp
+}
+
+// resolveSpec settles a speculation when the chain driver reaches its
+// cell: if the predecessor's (now recorded) answer proves the cell
+// skippable, the speculated search is cancelled; otherwise the driver
+// waits for it. An exact speculative result is committed as the cell's
+// answer (win). A cancelled or otherwise inexact result was already
+// quarantined by find's registration guard — exactly like an anytime
+// abort, it entered neither the table nor the pool — and ok = false
+// tells the driver to run the cell normally, which typically
+// dominance-skips on the predecessor's fresh bound.
+func (s *Session) resolveSpec(sp *specRun, q Query) (res *core.Result, err error, ok bool) {
+	e := s.cur.Load()
+	if q.Weak {
+		q.Delta = e.g.N()
+	}
+	e.mu.Lock()
+	ub, haveUB := e.table.UpperBound(q.K, q.Delta)
+	seed := bestSeedLocked(e, q)
+	e.mu.Unlock()
+	if haveUB && (ub < 2*q.K || int32(len(seed)) == ub) {
+		// The predecessor resolved the cell: the running speculation is
+		// wasted work now. (Its search may still finish exact first —
+		// an injected bound can beat the cancel — in which case the
+		// result is committed below anyway.)
+		sp.inj.Cancel()
+	}
+	<-sp.done
+	if sp.err != nil {
+		s.spec.Cancel()
+		return nil, sp.err, true
+	}
+	if sp.res.Stats.Aborted {
+		s.spec.Cancel()
+		return nil, nil, false
+	}
+	s.spec.Win()
+	return sp.res, nil, true
 }
 
 // broadcast pushes a fresh exact answer into every search still running
@@ -712,6 +986,9 @@ type ApplyStats struct {
 	// PoolRetained/PoolDropped count surviving vs destroyed warm-start
 	// cliques.
 	PoolRetained, PoolDropped int64
+	// BridgeSeeds counts warm-start cliques grown around inserted edges
+	// that merged two components (see Stats.BridgeSeeds).
+	BridgeSeeds int64
 }
 
 // Apply mutates the session's graph with a batched delta and swaps in
@@ -793,6 +1070,15 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 		}
 	}
 
+	// Bridge seeding: when an inserted edge merges two previously
+	// separate components, neither half's pooled cliques can contain
+	// the other half's vertices, so the merged component's first query
+	// would otherwise start cold exactly where the delta created new
+	// structure. Grow a greedy clique around each such bridge — drawing
+	// candidates from the union of both halves' pooled cliques first —
+	// and pool it on the not-yet-published epoch.
+	ast.BridgeSeeds = s.seedBridges(ne, old.g, oldPool, info.Inserted)
+
 	// Prepared state: re-prepare each built k against the patched
 	// snapshot, adopting every structurally untouched component.
 	for key, ent := range oldPreps {
@@ -831,6 +1117,7 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 	s.stats.CompPrepsReused += ast.CompPrepsReused
 	s.stats.PoolRetained += ast.PoolRetained
 	s.stats.PoolDropped += ast.PoolDropped
+	s.stats.BridgeSeeds += ast.BridgeSeeds
 	if old.reds != nil {
 		rs := old.reds.Stats()
 		s.redsBase.Builds += rs.Builds
@@ -840,6 +1127,122 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 	s.mu.Unlock()
 	s.cur.Store(ne)
 	return ast, nil
+}
+
+// bridgeCandidateCap bounds the greedy growth around one bridge, so a
+// pathological insert into a dense hub cannot turn Apply quadratic.
+// Seeds are best-effort warm-start material; truncation is safe.
+const bridgeCandidateCap = 2048
+
+// seedBridges implements the merged-component warm start: for every
+// inserted edge (u, v) whose endpoints lay in different components of
+// the OLD graph, grow a greedy clique C ⊇ {u, v} inside the edge's
+// common neighborhood in the new graph, trying vertices that appear in
+// the halves' pooled cliques first (the union of both halves' pooled
+// cliques is the seed material — those vertices are proven dense in
+// their half) and the rest in ascending id order for determinism. The
+// grown clique is pooled on the not-yet-published epoch ne; combined
+// with the insertion-floor table relax, a post-merge query whose seed
+// meets the relaxed bound is answered with zero branching. Returns the
+// number of cliques pooled.
+func (s *Session) seedBridges(ne *epoch, oldG *graph.Graph, oldPool []poolClique, inserted [][2]int32) int64 {
+	if len(inserted) == 0 {
+		return 0
+	}
+	// Old-graph component labels, built lazily: vertices new to this
+	// epoch get synthetic singleton labels (a brand-new vertex is its
+	// own old "component").
+	var label []int32
+	var nextLabel int32
+	lab := func(v int32) int32 {
+		if v < int32(len(label)) {
+			return label[v]
+		}
+		nextLabel++
+		return -nextLabel
+	}
+	var pooled map[int32]bool
+	var seeds int64
+	for _, e := range inserted {
+		if label == nil {
+			comps := graph.ConnectedComponents(oldG)
+			label = make([]int32, oldG.N())
+			for ci, comp := range comps {
+				for _, v := range comp {
+					label[v] = int32(ci)
+				}
+			}
+		}
+		u, v := e[0], e[1]
+		if lab(u) == lab(v) {
+			continue // intra-component insert: both halves already warm
+		}
+		if pooled == nil {
+			pooled = make(map[int32]bool)
+			for _, c := range oldPool {
+				for _, w := range c.verts {
+					pooled[w] = true
+				}
+			}
+		}
+		if c := growBridgeClique(ne.g, u, v, pooled); len(c) >= 2 {
+			s.addPoolLocked(ne, c) // ne is unpublished: no lock contention
+			seeds++
+		}
+	}
+	return seeds
+}
+
+// growBridgeClique greedily extends {u, v} with common neighbors of the
+// bridge, preferring vertices from the pooled-clique union. Candidates
+// are checked for full adjacency against the clique so far, so the
+// result is always a clique of g.
+func growBridgeClique(g *graph.Graph, u, v int32, pooled map[int32]bool) []int32 {
+	// Common neighborhood by sorted-adjacency merge.
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	var common []int32
+	for i, j := 0, 0; i < len(nu) && j < len(nv); {
+		switch {
+		case nu[i] < nv[j]:
+			i++
+		case nu[i] > nv[j]:
+			j++
+		default:
+			common = append(common, nu[i])
+			i++
+			j++
+		}
+	}
+	if len(common) > bridgeCandidateCap {
+		common = common[:bridgeCandidateCap]
+	}
+	// Pooled vertices first; ascending id within each class (the merge
+	// yields ascending order, and the partition below is stable).
+	order := make([]int32, 0, len(common))
+	for _, w := range common {
+		if pooled[w] {
+			order = append(order, w)
+		}
+	}
+	for _, w := range common {
+		if !pooled[w] {
+			order = append(order, w)
+		}
+	}
+	clique := []int32{u, v}
+	for _, w := range order {
+		ok := true
+		for _, x := range clique[2:] { // w ∈ N(u) ∩ N(v) by construction
+			if !g.HasEdge(w, x) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, w)
+		}
+	}
+	return clique
 }
 
 // bestSeedLocked returns the largest pooled clique that is itself

@@ -1,0 +1,320 @@
+package session
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"fairclique/internal/bounds"
+	"fairclique/internal/graph"
+	"fairclique/internal/sched"
+)
+
+// waitParked blocks until every persistent executor of the session's
+// pool is parked hungry, so the next specAdmit sees idle capacity
+// deterministically.
+func waitParked(t *testing.T, pool *sched.Pool, n int) {
+	t.Helper()
+	for pool.Idle() != n {
+		runtime.Gosched()
+	}
+}
+
+// The chain-strength score, pinned cell by cell against hand-built
+// table and pool state on K13 (7 a's, 6 b's). Speculation admission
+// must be: off → never; anytime cell → never; cold chain (no inherited
+// bound) → never; skippable cell → never; strong chain (seed at least
+// half the bound) → never; weak chain → admitted; SpecForce → admitted
+// even on a strong chain.
+func TestSpecAdmitChainStrength(t *testing.T) {
+	g := completeGraph(13, 7)
+	s := New(g, Options{Workers: 4})
+	defer s.Close()
+	pool := s.sharedPool()
+	waitParked(t, pool, 3)
+
+	// Cold chain: the table is empty, so (3, 0) has no inherited bound.
+	if s.specAdmit(Query{K: 3, Delta: 0}) {
+		t.Fatal("cold chain admitted under SpecAuto")
+	}
+
+	e := s.cur.Load()
+	e.mu.Lock()
+	e.table.Add(3, 2, 13) // the warm predecessor's answer
+	e.mu.Unlock()
+
+	// Weak chain: ub = 13 inherited from (3, 2), no valid seed for
+	// δ = 0 — the spread is the whole bound.
+	if !s.specAdmit(Query{K: 3, Delta: 0}) {
+		t.Fatal("weak chain rejected under SpecAuto")
+	}
+	s.spec.Cancel() // release the admitted slot
+
+	// Strong chain: pool a balanced 8-clique (4 a's, 4 b's); now the
+	// seed covers more than half the bound, so the predecessor is
+	// likely to resolve the cell — sequential.
+	e.mu.Lock()
+	s.addPoolLocked(e, []int32{0, 1, 2, 3, 7, 8, 9, 10})
+	e.mu.Unlock()
+	if s.specAdmit(Query{K: 3, Delta: 0}) {
+		t.Fatal("strong chain admitted under SpecAuto")
+	}
+
+	// SpecForce overrides the strength score but not skippability.
+	s.opt.Speculation = SpecForce
+	if !s.specAdmit(Query{K: 3, Delta: 0}) {
+		t.Fatal("SpecForce rejected a non-skippable cell")
+	}
+	s.spec.Cancel()
+
+	// Skippable cell: the full K13 (diff 1) meets the (3, 1) bound —
+	// the sequential driver answers it with zero branching, so even
+	// SpecForce must not speculate it.
+	e.mu.Lock()
+	all := make([]int32, 13)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	s.addPoolLocked(e, all)
+	e.mu.Unlock()
+	if s.specAdmit(Query{K: 3, Delta: 1}) {
+		t.Fatal("skippable cell speculated under SpecForce")
+	}
+
+	// Anytime cells stay sequential in every mode: a budgeted
+	// speculative run would come back inexact and re-run.
+	if s.specAdmit(Query{K: 3, Delta: 0, MaxNodes: 10}) {
+		t.Fatal("node-capped cell speculated")
+	}
+	if s.specAdmit(Query{K: 3, Delta: 0, Deadline: time.Now().Add(time.Hour)}) {
+		t.Fatal("deadline cell speculated")
+	}
+
+	s.opt.Speculation = SpecOff
+	if s.specAdmit(Query{K: 3, Delta: 0}) {
+		t.Fatal("SpecOff speculated")
+	}
+}
+
+// The deterministic weak-chain handshake end to end: on K13 (7/6) a
+// warm (3, 2) answer leaves the δ = 0 cell with bound 13 and no valid
+// seed — a maximally weak chain — so the grid driver speculates it
+// onto a parked executor while it dominance-skips (3, 1). The
+// predecessor cannot resolve the δ = 0 cell, so the speculation must
+// run to completion and be committed as the cell's answer: exactly one
+// start, one win, no cancels, and the exact optimum 12.
+func TestSpeculationWeakChainCommits(t *testing.T) {
+	g := completeGraph(13, 7)
+	s := New(g, Options{Workers: 4})
+	defer s.Close()
+	if _, err := s.Find(Query{K: 3, Delta: 2}); err != nil {
+		t.Fatal(err)
+	}
+	waitParked(t, s.sharedPool(), 3)
+
+	rs, err := s.FindGrid([]Query{{K: 3, Delta: 1}, {K: 3, Delta: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Size() != 13 {
+		t.Fatalf("(3,1) answered %d, want the full K13", rs[0].Size())
+	}
+	if rs[1].Size() != 12 {
+		t.Fatalf("(3,0) answered %d, want the balanced 12", rs[1].Size())
+	}
+	if !g.IsFairClique(rs[1].Clique, 3, 0) {
+		t.Fatal("speculative answer is not a (3,0)-fair clique")
+	}
+	st := s.Stats()
+	if st.SpeculativeStarts != 1 || st.SpeculativeWins != 1 || st.SpeculativeCancels != 0 {
+		t.Fatalf("ledger starts/wins/cancels = %d/%d/%d, want 1/1/0",
+			st.SpeculativeStarts, st.SpeculativeWins, st.SpeculativeCancels)
+	}
+	// The committed result entered the table like any sequential exact
+	// answer: a repeat of the speculated cell is a pure dominance skip.
+	before := st.DominanceSkips
+	if _, err := s.Find(Query{K: 3, Delta: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().DominanceSkips; got != before+1 {
+		t.Fatal("speculative win did not seed the monotonicity table")
+	}
+}
+
+// The predecessor-resolves case: (3, 0) and (4, 0) on K13 share the
+// optimum 12, so once the driver finishes (3, 0) the speculated (4, 0)
+// is provably skippable — resolveSpec cancels it through the wired
+// Injector, unless the broadcast bound injection already finished it
+// exact first (cancel-or-inject; both are correct). Either way the
+// ledger balances and the cell's committed answer is the exact 12.
+func TestSpeculationPredecessorCancelsOrInjects(t *testing.T) {
+	g := completeGraph(13, 7)
+	s := New(g, Options{Workers: 4})
+	defer s.Close()
+	if _, err := s.Find(Query{K: 3, Delta: 5}); err != nil {
+		t.Fatal(err)
+	}
+	waitParked(t, s.sharedPool(), 3)
+
+	rs, err := s.FindGrid([]Query{{K: 3, Delta: 0}, {K: 4, Delta: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Size() != 12 || rs[1].Size() != 12 {
+		t.Fatalf("grid answered (%d, %d), want (12, 12)", rs[0].Size(), rs[1].Size())
+	}
+	if !g.IsFairClique(rs[1].Clique, 4, 0) {
+		t.Fatal("(4,0) answer is not a fair clique")
+	}
+	st := s.Stats()
+	if st.SpeculativeStarts != 1 {
+		t.Fatalf("%d speculative starts, want exactly 1", st.SpeculativeStarts)
+	}
+	if st.SpeculativeWins+st.SpeculativeCancels != st.SpeculativeStarts {
+		t.Fatalf("ledger leaked: starts %d != wins %d + cancels %d",
+			st.SpeculativeStarts, st.SpeculativeWins, st.SpeculativeCancels)
+	}
+}
+
+// The session-lifetime pool survives Apply: the same Workers-1
+// executors serve queries on the pre-delta and post-delta epochs —
+// WorkerReleases stays pinned while PoolSearches and the epoch
+// advance, and the post-delta answer matches a fresh session built on
+// the mutated graph.
+func TestPoolSurvivesApply(t *testing.T) {
+	g := completeGraph(12, 6)
+	s := New(g, Options{Workers: 4})
+	defer s.Close()
+	q := Query{K: 1, Delta: 0}
+
+	res, err := s.Find(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 12 {
+		t.Fatalf("pre-delta optimum %d, want 12", res.Size())
+	}
+	before := s.Stats()
+	if before.WorkerReleases != 3 || before.PoolSearches != 1 {
+		t.Fatalf("pre-delta releases/searches = %d/%d, want 3/1",
+			before.WorkerReleases, before.PoolSearches)
+	}
+
+	if _, err := s.Apply(&graph.Delta{DelEdges: [][2]int32{{0, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Find(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := independent(t, s.Graph(), q, Options{})
+	if res.Size() != want.Size() {
+		t.Fatalf("post-delta session %d, fresh %d", res.Size(), want.Size())
+	}
+	st := s.Stats()
+	if st.WorkerReleases != 3 {
+		t.Fatalf("Apply changed WorkerReleases to %d; the pool must survive the epoch swap", st.WorkerReleases)
+	}
+	if st.PoolSearches != before.PoolSearches+1 {
+		t.Fatalf("post-delta Find did not draw on the shared pool: %d searches", st.PoolSearches)
+	}
+	if st.Epoch == before.Epoch {
+		t.Fatal("Apply did not advance the epoch")
+	}
+}
+
+// Single-cell Find draws on the session pool — the capability the
+// lifetime refactor adds: released executors steal the lone cell's
+// donated subtrees (previously only FindGrid could use them). The
+// executors are parked before the query starts, so the search's first
+// donation check deterministically sees a hungry peer; every donation
+// must be matched by an executed steal, and repeats of the solved cell
+// are dominance skips costing a tiny constant of allocations.
+func TestFindDrawsOnSessionPool(t *testing.T) {
+	g := starvedSession(3, 72)
+	q := Query{K: 1, Delta: 60}
+	want := independent(t, g, q, Options{})
+
+	s := New(g, Options{Workers: 4})
+	defer s.Close()
+	waitParked(t, s.sharedPool(), 3)
+
+	res, err := s.Find(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != want.Size() {
+		t.Fatalf("pooled Find %d, independent %d", res.Size(), want.Size())
+	}
+	st := s.Stats()
+	if st.PoolSearches != 1 || st.WorkerReleases != 3 {
+		t.Fatalf("searches/releases = %d/%d, want 1/3", st.PoolSearches, st.WorkerReleases)
+	}
+	if st.Donations == 0 {
+		t.Fatal("Find never donated despite three parked executors")
+	}
+	if st.Steals != st.Donations {
+		t.Fatalf("%d donations but %d steals; the pool lost or invented work", st.Donations, st.Steals)
+	}
+	if st.LocalSteals+st.RemoteSteals != st.Steals {
+		t.Fatalf("steal split %d+%d != total %d", st.LocalSteals, st.RemoteSteals, st.Steals)
+	}
+
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := s.Find(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 16 {
+		t.Fatalf("pooled dominance-skip repeat allocates %.1f objects; want a tiny constant", avg)
+	}
+}
+
+// The speculation differential wall: SpecForce speculates every
+// non-skippable cell, so racing speculative searches against their
+// predecessors across all six Table II bound configurations and all
+// three fairness modes (strong δ = 0, relative δ > 0, weak) must not
+// change a single answer relative to independent runs. The ledger must
+// balance after every grid. Runs under -race via make test-race.
+func TestGridSpeculationForcedDifferential(t *testing.T) {
+	var qs []Query
+	for k := int32(1); k <= 3; k++ {
+		for d := int32(0); d <= 2; d++ {
+			qs = append(qs, Query{K: k, Delta: d})
+		}
+		qs = append(qs, Query{K: k, Weak: true})
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		g := random(seed, 34, 0.4)
+		for _, extra := range bounds.Extras() {
+			opt := Options{UseBounds: true, Extra: extra, UseHeuristic: true,
+				Workers: 4, Speculation: SpecForce}
+			s := New(g, opt)
+			rs, err := s.FindGrid(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			s.Close()
+			if st.SpeculativeWins+st.SpeculativeCancels != st.SpeculativeStarts {
+				t.Fatalf("seed=%d extra=%v: ledger leaked: %d starts, %d wins, %d cancels",
+					seed, extra, st.SpeculativeStarts, st.SpeculativeWins, st.SpeculativeCancels)
+			}
+			for i, q := range qs {
+				iq := q
+				if iq.Weak {
+					iq.Weak, iq.Delta = false, g.N() // weak = unconstrained balance
+				}
+				want := independent(t, g, iq, Options{UseBounds: true, Extra: extra, UseHeuristic: true})
+				if rs[i].Size() != want.Size() {
+					t.Fatalf("seed=%d extra=%v (k=%d, δ=%d, weak=%v): forced speculation %d, independent %d",
+						seed, extra, q.K, q.Delta, q.Weak, rs[i].Size(), want.Size())
+				}
+				if rs[i].Size() > 0 && !g.IsFairClique(rs[i].Clique, int(iq.K), int(iq.Delta)) {
+					t.Fatalf("seed=%d extra=%v (k=%d, δ=%d, weak=%v): invalid clique under forced speculation",
+						seed, extra, q.K, q.Delta, q.Weak)
+				}
+			}
+		}
+	}
+}
