@@ -26,7 +26,7 @@ MEM_RATIO ?= 0
 SPEC ?= on
 WORKERS_CURVE ?= 1,2,4,8
 
-.PHONY: build test test-race race bench bench-check bench-parallel bench-ingest bench-full serve-smoke
+.PHONY: build test test-race race bench bench-check bench-parallel bench-ingest bench-full serve-smoke apidiff
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,7 @@ test:
 # only its concurrency hammers (the oracle suites are too slow for
 # -race and have no shared state to race on).
 test-race:
-	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce ./internal/sched ./internal/serve
+	$(GO) test -race ./internal/core ./internal/bounds ./internal/graph ./internal/session ./internal/reduce ./internal/sched ./internal/serve ./internal/enum
 	$(GO) test -race -run 'Concurrent|SnapshotVsApply' .
 
 race: test-race
@@ -73,6 +73,7 @@ bench:
 	$(GO) run ./cmd/benchmark -exp ingest -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp serve -merge BENCH_core.json -out /dev/null
 	$(GO) run ./cmd/benchmark -exp anytime -merge BENCH_core.json -out /dev/null
+	$(GO) run ./cmd/benchmark -exp enum -min-speedup 5 -merge BENCH_core.json -out /dev/null
 	@cat BENCH_core.json
 
 # Re-measure and diff against the committed BENCH_core.json: prints a
@@ -119,6 +120,15 @@ bench-ingest:
 serve-smoke:
 	@mkdir -p $(BENCH_OUT_DIR)/serve-smoke
 	OUT_DIR=$(BENCH_OUT_DIR)/serve-smoke sh scripts/serve_smoke.sh
+
+# The API-compatibility gate: diff the public fairclique package's
+# exported surface against the previous commit with apidiff, failing
+# on incompatible changes unless an `api-break` file at the repo root
+# acknowledges them (see scripts/apidiff.sh). Skips gracefully when
+# the tool is not installed; CI installs golang.org/x/exp/cmd/apidiff
+# on the runner and pins the base to the PR's base commit.
+apidiff:
+	sh scripts/apidiff.sh
 
 # The full paper-evaluation suite (slow; writes Markdown to stdout).
 bench-full:

@@ -10,7 +10,7 @@
 //	benchmark -out results.md
 //
 // Experiments: table1, fig4, fig5, table2, fig6, fig7, fig8, fig9,
-// casestudies, ablation, all. Seven extra experiments always emit JSON
+// casestudies, ablation, all. Eight extra experiments always emit JSON
 // and feed BENCH_core.json, the repo's perf trajectory: "core"
 // benchmarks the branch-and-bound engine itself (Workers 1 vs 4 on a
 // single-giant-component graph), "grid" measures the multi-query
@@ -37,8 +37,14 @@
 // measures the gap-vs-budget curve: deadline-budgeted searches at
 // fractions of the exact wall clock, each reporting its incumbent and
 // certified optimality gap (hard-failing if a zero-deadline run is
-// inexact or a budgeted run breaks the sandwich). Use -merge
-// BENCH_core.json to embed the records; `make bench` runs all seven.
+// inexact or a budgeted run breaks the sandwich), and "enum" measures
+// enumeration: the engine's collect-at-optimum KindEnumerateAll versus
+// the Bron–Kerbosch all-optima baseline on the same cell — hard-failing
+// unless both return the identical clique set — plus the diversified
+// top-r cut, which must cover strictly more distinct vertices than the
+// first-r baseline (-min-speedup gates the engine-over-baseline
+// wall-clock ratio). Use -merge
+// BENCH_core.json to embed the records; `make bench` runs all eight.
 package main
 
 import (
@@ -62,7 +68,7 @@ func main() {
 		baseline    = flag.String("baseline", "", "for -exp core: committed BENCH_core.json to diff against; exits 1 on a >10% nodes/sec regression")
 		merge       = flag.String("merge", "", "for -exp grid/delta/sched: existing BENCH_core.json to embed the record into")
 		gridSpec    = flag.String("grid", "", "for -exp grid/sched: override the cell spec, e.g. 'k=2..4,delta=1..3[,mode=weak|strong]'")
-		minSpeedup  = flag.Float64("min-speedup", 0, "for -exp sched/ingest: exit 1 unless the measured W4/W1 speedup strictly exceeds this (0 = no gate)")
+		minSpeedup  = flag.Float64("min-speedup", 0, "for -exp sched/ingest/enum: exit 1 unless the measured speedup strictly exceeds this (0 = no gate)")
 		spec        = flag.String("spec", "on", "for -exp sched: speculation mode of the shared-pool measurements, on or off (the on/off ablation is recorded either way)")
 		workersCrv  = flag.String("workers-curve", "", "for -exp sched: comma-separated worker counts of the scaling curve (default 1,2,4,8)")
 		maxMemRatio = flag.Float64("max-mem-ratio", 0, "for -exp ingest: exit 1 unless the streaming peak stays under this multiple of the final CSR bytes (0 = no gate)")
@@ -135,6 +141,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchmark: sched scheduler bench finished in %v\n", time.Since(start))
+		return
+	}
+	if *exp == "enum" {
+		// The enumeration experiment: session KindEnumerateAll versus
+		// the BK all-optima baseline (identical-set verified) plus the
+		// diversified top-r coverage win. JSON-only; -merge embeds it
+		// under "enum"; -min-speedup gates the engine-over-baseline
+		// wall-clock ratio.
+		if err := bench.WriteEnumBench(cfg, w, *merge, *minSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark: enum bench finished in %v\n", time.Since(start))
 		return
 	}
 	if *exp == "serve" {

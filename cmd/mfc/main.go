@@ -10,6 +10,8 @@
 //	mfc -graph g.txt -k 3 -delta 1 -heuristic    # linear-time HeurRFC only
 //	mfc -graph g.txt -k 3 -reduce                # reduction pipeline only
 //	mfc -graph g.txt -k 3 -delta 1 -enum         # Bron-Kerbosch baseline
+//	mfc -graph g.txt -k 3 -delta 1 -enumerate    # ALL maximum fair cliques
+//	mfc -graph g.txt -k 3 -delta 1 -top 5        # diversified top-5 by vertex coverage
 //	mfc -graph g.txt -grid 'k=2..4,delta=1..3'   # multi-query session grid
 //	mfc -graph g.txt -k 3 -delta 1 -apply '+e:0:5 -e:1:2'   # dynamic session
 //	mfc -graph g.txt -repl                       # interactive session REPL
@@ -61,7 +63,9 @@ func main() {
 		noReduce    = flag.Bool("no-reduce", false, "skip the reduction pipeline")
 		heurOnly    = flag.Bool("heuristic", false, "run only the linear-time heuristic")
 		reduceOnly  = flag.Bool("reduce", false, "run only the reduction pipeline and report sizes")
-		enumerate   = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline")
+		exhaustive  = flag.Bool("enum", false, "use the Bron-Kerbosch enumeration baseline (one clique)")
+		enumerate   = flag.Bool("enumerate", false, "enumerate ALL maximum fair cliques (collect-at-optimum engine)")
+		topR        = flag.Int("top", 0, "with or without -enumerate: print a diversified top-R subset of the maximum fair cliques (0 = all)")
 		maxNodes    = flag.Int64("max-nodes", 0, "abort after this many branch nodes (0 = unlimited)")
 		deadline    = flag.Duration("deadline", 0, "anytime wall-clock budget, e.g. 500ms (0 = none); an aborted run prints its certified upper bound and gap")
 		workers     = flag.Int("workers", 1, "parallel branching workers (a grid shares them through the session's work-stealing pool)")
@@ -150,13 +154,29 @@ func main() {
 		}
 		return
 
-	case *enumerate:
+	case *exhaustive:
 		start := time.Now()
-		clique, err := fairclique.Enumerate(g, *k, *delta)
+		clique, err := fairclique.FindExhaustive(g, *k, *delta)
 		if err != nil {
 			fatal(err)
 		}
 		report(g, clique, *quiet, time.Since(start))
+		return
+
+	case *enumerate || *topR > 0:
+		sess := fairclique.NewSession(g, sessionOpts())
+		defer sess.Close()
+		spec := fairclique.QuerySpec{K: *k, Delta: *delta, Kind: fairclique.KindEnumerateAll, Deadline: *deadline}
+		if *topR > 0 {
+			spec.Kind = fairclique.KindTopR
+			spec.R = *topR
+		}
+		start := time.Now()
+		rs, err := sess.Enumerate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		reportSet(rs, *quiet, time.Since(start))
 		return
 	}
 
@@ -208,6 +228,28 @@ func report(g *fairclique.Graph, clique []int, quiet bool, elapsed time.Duration
 	sort.Ints(sorted)
 	fmt.Printf("maximum fair clique: size %d (%.2f ms)\n", len(clique), float64(elapsed.Microseconds())/1000)
 	fmt.Printf("vertices: %v\n", sorted)
+}
+
+// reportSet prints an enumeration answer: the optimum size, the clique
+// count, and each clique with its attribute counts.
+func reportSet(rs *fairclique.ResultSet, quiet bool, elapsed time.Duration) {
+	if quiet {
+		fmt.Printf("%d %d\n", rs.Size, len(rs.Cliques))
+		return
+	}
+	if len(rs.Cliques) == 0 {
+		fmt.Printf("no fair clique exists (%.2f ms)\n", float64(elapsed.Microseconds())/1000)
+		return
+	}
+	fmt.Printf("maximum fair cliques: size %d, %d cliques (%.2f ms)\n",
+		rs.Size, len(rs.Cliques), float64(elapsed.Microseconds())/1000)
+	for i, c := range rs.Cliques {
+		fmt.Printf("  #%d %v (%d a, %d b)\n", i+1, c, rs.Counts[i][0], rs.Counts[i][1])
+	}
+	if !rs.Exact {
+		fmt.Printf("anytime: budget expired; the set is partial, optimum in [%d, %d]\n",
+			rs.Size, rs.UpperBound)
+	}
 }
 
 // parseGrid expands a grid spec into query cells; the parsing itself —

@@ -41,7 +41,7 @@ func main() {
 
 	// Upload a graph: a balanced K4 (2 seniors a, 2 juniors b) plus a
 	// pendant senior.
-	post("/graphs?name=team", "text/plain", `
+	post("/v1/graphs?name=team", "text/plain", `
 v 0 a
 v 1 a
 v 2 b
@@ -58,25 +58,25 @@ e 0 4
 
 	// Query: at least 2 of each attribute, perfectly balanced (δ=0).
 	q := `{"k":2,"delta":0}`
-	r1 := post("/graphs/team/query", "application/json", q)
+	r1 := post("/v1/graphs/team/query", "application/json", q)
 	fmt.Printf("first query: size %v, cached=%v, epoch %v\n", r1["size"], r1["cached"], r1["epoch"])
 
 	// The same cell again is a cache hit — no search runs.
-	r2 := post("/graphs/team/query", "application/json", q)
+	r2 := post("/v1/graphs/team/query", "application/json", q)
 	fmt.Printf("second query: size %v, cached=%v\n", r2["size"], r2["cached"])
 
 	// Mutations buffer between queries: wire the pendant into the K4.
 	// Nothing is applied yet — the epoch is unchanged.
-	m := post("/graphs/team/mutate", "text/plain", "+e:4:1 +e:4:2 +e:4:3")
+	m := post("/v1/graphs/team/mutate", "text/plain", "+e:4:1 +e:4:2 +e:4:3")
 	fmt.Printf("mutate: buffered_ops=%v at epoch %v\n", m["buffered_ops"], m["epoch"])
 
 	// The next query flushes the buffer first (one Session.Apply for
 	// the whole batch), bumps the epoch, and sees the bigger clique.
-	r3 := post("/graphs/team/query", "application/json", `{"k":2,"delta":1}`)
+	r3 := post("/v1/graphs/team/query", "application/json", `{"k":2,"delta":1}`)
 	fmt.Printf("after flush: size %v at epoch %v\n", r3["size"], r3["epoch"])
 
 	// Metrics: cache counters, admission gate, per-graph epoch gauge.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/fairnessmodels", "strong"},
 		{"./examples/sessiongrid", "dominance skips"},
 		{"./examples/dynamic", "component preps reused"},
+		{"./examples/enumerate", "diversified top-2"},
 		{"./examples/serve", "cached=true"},
 	}
 	for _, tc := range cases {

@@ -15,9 +15,14 @@
 //     shared preprocessing and cross-query warm-starts; Session.Apply
 //     mutates the graph with batched edge/vertex deltas, invalidating
 //     only the components the delta touches,
+//   - Enumerate / Session.Enumerate: every maximum fair clique of a
+//     cell (or a diversified top-r subset) as a ResultSet, computed by
+//     the same branch-and-bound engine in collect-at-optimum mode and
+//     maintained incrementally across Session.Apply deltas,
 //   - Heuristic: the linear-time HeurRFC approximation,
 //   - Reduce: the colorful-support reduction pipeline on its own,
-//   - Enumerate: the Bron–Kerbosch baseline.
+//   - FindExhaustive: the Bron–Kerbosch baseline (deprecated; kept as
+//     the validation oracle).
 //
 // # Quick start
 //
@@ -268,8 +273,17 @@ func WriteGraph(w io.Writer, g *Graph) error {
 type Options struct {
 	// K is the per-attribute minimum count (>= 1).
 	K int
-	// Delta is the maximum attribute-count difference (>= 0).
+	// Delta is the maximum attribute-count difference (>= 0). Read only
+	// when Mode is ModeRelative; the other modes fix their own δ.
+	//
+	// Deprecated: passing δ = |V| or δ = 0 here to emulate the weak or
+	// strong model duplicates what Mode states directly — set Mode
+	// instead. Delta itself remains current for ModeRelative.
 	Delta int
+	// Mode selects the fairness model (default ModeRelative, which
+	// reads Delta). ModeWeak and ModeStrong resolve their δ internally,
+	// exactly like the session's QuerySpec.
+	Mode Mode
 	// DisableBounds turns off the upper-bound pruning group (the
 	// paper's plain "MaxRFC" baseline).
 	DisableBounds bool
@@ -348,27 +362,30 @@ func (r *Result) Size() int { return len(r.Clique) }
 
 // Find computes a maximum relative fair clique of g (Algorithm 2,
 // MaxRFC). It returns an error only for invalid options.
+//
+// Find is a thin wrapper over a throwaway Session answering one
+// QuerySpec — the session's normalization is the ONLY query
+// normalization path, so one-shot and session answers can never
+// diverge. StaticGridSplit keeps the throwaway session off the shared
+// worker pool: a single query splits its Workers budget privately,
+// exactly as the historical direct search did.
 func Find(g *Graph, opt Options) (*Result, error) {
-	ig := g.freeze()
-	var deadline time.Time
-	if opt.Deadline > 0 {
-		deadline = time.Now().Add(opt.Deadline)
-	}
-	res, err := core.MaxRFC(ig, core.Options{
-		K:             opt.K,
-		Delta:         opt.Delta,
-		UseBounds:     !opt.DisableBounds,
-		Extra:         opt.Bound,
-		UseHeuristic:  !opt.DisableHeuristic,
-		SkipReduction: opt.DisableReduction,
-		MaxNodes:      opt.MaxNodes,
-		Deadline:      deadline,
-		Workers:       opt.Workers,
+	sess := NewSession(g, SessionOptions{
+		Bound:            opt.Bound,
+		DisableBounds:    opt.DisableBounds,
+		DisableHeuristic: opt.DisableHeuristic,
+		DisableReduction: opt.DisableReduction,
+		Workers:          opt.Workers,
+		StaticGridSplit:  true,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return resultFromCore(ig, res), nil
+	defer sess.Close()
+	return sess.Find(QuerySpec{
+		K:        opt.K,
+		Delta:    opt.Delta,
+		Mode:     opt.Mode,
+		Deadline: opt.Deadline,
+		MaxNodes: opt.MaxNodes,
+	})
 }
 
 // resultFromCore converts an internal search result to the public one.
@@ -396,18 +413,27 @@ func resultFromCore(ig *graph.Graph, res *core.Result) *Result {
 }
 
 // FindWeak computes a maximum *weak* fair clique (Pan et al. [23]): at
-// least k vertices of each attribute with no balance constraint. This
-// is the relative model with δ = |V|, so the same machinery applies.
+// least k vertices of each attribute with no balance constraint.
+//
+// Deprecated: use Find with Options{K: k, Mode: ModeWeak} (or a
+// Session with QuerySpec{K: k, Mode: ModeWeak}); the mode expresses
+// the model directly instead of encoding it in δ.
 func FindWeak(g *Graph, k int) (*Result, error) {
-	opt := DefaultOptions(k, g.N())
+	opt := DefaultOptions(k, 0)
+	opt.Mode = ModeWeak
 	return Find(g, opt)
 }
 
 // FindStrong computes a maximum *strong* fair clique (Pan et al.
 // [23]): at least k vertices of each attribute with exactly equal
-// counts — the relative model with δ = 0.
+// counts.
+//
+// Deprecated: use Find with Options{K: k, Mode: ModeStrong} (or a
+// Session with QuerySpec{K: k, Mode: ModeStrong}).
 func FindStrong(g *Graph, k int) (*Result, error) {
-	return Find(g, DefaultOptions(k, 0))
+	opt := DefaultOptions(k, 0)
+	opt.Mode = ModeStrong
+	return Find(g, opt)
 }
 
 // Heuristic runs the linear-time HeurRFC framework (Algorithm 6) and
@@ -447,10 +473,30 @@ func Reduce(g *Graph, k int) (kept []int, stages []ReduceStats, err error) {
 	return toInt(sub.ToParent), stages, nil
 }
 
-// Enumerate returns a maximum fair clique via the Bron–Kerbosch
+// Enumerate returns EVERY maximum (k, delta)-relative fair clique of g
+// as a ResultSet, computed by the branch-and-bound engine in
+// collect-at-optimum mode (one search visits all optima). For repeated
+// or dynamic workloads prefer Session.Enumerate, which caches the set
+// per cell and maintains it incrementally across Apply deltas.
+//
+// Historical note: before the query-API redesign this function
+// returned a single clique from the Bron–Kerbosch baseline despite its
+// name; that behavior lives on as FindExhaustive.
+func Enumerate(g *Graph, k, delta int) (*ResultSet, error) {
+	sess := NewSession(g, SessionOptions{StaticGridSplit: true})
+	defer sess.Close()
+	return sess.Enumerate(QuerySpec{K: k, Delta: delta, Kind: KindEnumerateAll})
+}
+
+// FindExhaustive computes a maximum fair clique via the Bron–Kerbosch
 // enumeration baseline — exponential in the worst case, exact always.
-// Intended for validation and small graphs.
-func Enumerate(g *Graph, k, delta int) ([]int, error) {
+// This is the pre-redesign behavior of Enumerate, kept one release
+// under its honest name.
+//
+// Deprecated: use Find (the branch-and-bound engine is strictly
+// faster) or Enumerate (for the full optimum set). The baseline
+// survives only as the differential-testing oracle.
+func FindExhaustive(g *Graph, k, delta int) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("fairclique: k must be >= 1, got %d", k)
 	}
@@ -476,21 +522,70 @@ const (
 	ModeStrong
 )
 
+// QueryKind selects a query's result shape; see QuerySpec.Kind.
+type QueryKind = session.QueryKind
+
+// Query kinds.
+const (
+	// KindFind (the zero value) asks for one maximum fair clique,
+	// answered by Session.Find / Session.FindGrid.
+	KindFind = session.KindFind
+	// KindEnumerateAll asks for every maximum fair clique, answered by
+	// Session.Enumerate as a ResultSet.
+	KindEnumerateAll = session.KindEnumerateAll
+	// KindTopR asks for a diversified subset of R maximum fair cliques
+	// chosen greedily for distinct-vertex coverage, answered by
+	// Session.Enumerate.
+	KindTopR = session.KindTopR
+)
+
 // QuerySpec is one cell of a session workload: the per-attribute
 // minimum K, the fairness Mode, and — for ModeRelative — the balance
-// tolerance Delta (ignored by the other modes). Deadline and MaxNodes
-// optionally budget this cell alone: a budget-aborted answer carries a
-// certified UpperBound/Gap and is never reused to seed or bound other
-// cells.
+// tolerance Delta (ignored by the other modes). Kind selects the
+// result shape (one clique, the full optimum set, or a diversified
+// top-R subset). Deadline and MaxNodes optionally budget this cell
+// alone: a budget-aborted answer carries a certified UpperBound/Gap
+// and is never reused to seed or bound other cells.
 type QuerySpec struct {
 	K     int
 	Delta int
 	Mode  Mode
+	// Kind is the result shape (default KindFind). Find/FindGrid
+	// answer only KindFind; Enumerate answers the other kinds.
+	Kind QueryKind
+	// R is the result budget for KindTopR (ignored otherwise).
+	R int
 	// Deadline, when positive, is this query's wall-clock budget.
 	Deadline time.Duration
 	// MaxNodes, when positive, caps this query's branch nodes; the
 	// tighter of this and SessionOptions.MaxNodes wins.
 	MaxNodes int64
+}
+
+// ResultSet is the outcome of an enumeration query (Enumerate or
+// Session.Enumerate): every maximum fair clique of the cell, or the
+// diversified top-R subset for KindTopR.
+type ResultSet struct {
+	// Cliques holds the result cliques, each ascending-sorted, the set
+	// deduplicated and in lexicographic order. Empty when no fair
+	// clique exists.
+	Cliques [][]int
+	// Counts[i] = {CountA, CountB} of Cliques[i].
+	Counts [][2]int
+	// Size is the maximum fair clique size (0 when none exists).
+	Size int
+	// Exact is false only if a budget (MaxNodes or Deadline) aborted
+	// the search: Cliques then holds only the optimum-sized cliques
+	// found within the budget, and — like every inexact answer — the
+	// set is never cached, pooled, or used to bound later queries.
+	Exact bool
+	// UpperBound is a certified upper bound on the maximum fair clique
+	// size; equal to Size whenever Exact. Gap = UpperBound - Size.
+	UpperBound int
+	Gap        int
+	// Stats describes the search effort (zero when the answer came
+	// from the session's enumeration cache).
+	Stats SearchStats
 }
 
 // SessionOptions configures a Session; the zero value is the
@@ -628,6 +723,13 @@ type SessionStats struct {
 	// solved cell's proven bound / incumbent clique into searches still
 	// running on the same graph generation.
 	BoundInjections, SeedInjections int64
+	// Enumerations counts Session.Enumerate calls that ran the collect
+	// search; EnumCacheHits counts ones answered from the per-epoch
+	// enumeration cache. EnumMaintained and EnumRecomputed count cached
+	// sets an Apply carried forward by survivor filtering versus
+	// re-enumerated from scratch.
+	Enumerations, EnumCacheHits    int64
+	EnumMaintained, EnumRecomputed int64
 }
 
 // Session prepares a graph — CSR, reduction snapshots per k, peel-rank
@@ -706,7 +808,7 @@ func (s *Session) normalize(spec QuerySpec) (session.Query, error) {
 	if spec.Deadline < 0 {
 		return session.Query{}, fmt.Errorf("fairclique: deadline must be >= 0, got %v", spec.Deadline)
 	}
-	q := session.Query{K: int32(spec.K), MaxNodes: spec.MaxNodes}
+	q := session.Query{K: int32(spec.K), Kind: spec.Kind, R: spec.R, MaxNodes: spec.MaxNodes}
 	if spec.Deadline > 0 {
 		q.Deadline = time.Now().Add(spec.Deadline)
 	}
@@ -772,6 +874,32 @@ type ApplyStats struct {
 	// component's seed material, drawn from both halves' pooled
 	// cliques.
 	BridgeSeeds int64
+	// EnumDiffs reports, per enumeration cell cached by a previous
+	// Session.Enumerate, which cliques this delta destroyed and which
+	// it created — the epoch diff of the incrementally maintained
+	// result sets.
+	EnumDiffs []EnumDiff
+}
+
+// EnumDiff is one cached enumeration cell's epoch diff across an
+// Apply: how the delta changed its maximum-fair-clique set.
+type EnumDiff struct {
+	// K and Mode identify the cell; Delta is meaningful for
+	// ModeRelative (strong cells report Delta 0).
+	K, Delta int
+	Mode     Mode
+	// Size is the cell's new optimum (0 when Dropped or none exists).
+	Size int
+	// Died are old-set cliques the delta destroyed; Born are ones it
+	// created. Each ascending-sorted.
+	Died, Born [][]int
+	// Recomputed is set when the cell was re-enumerated from scratch;
+	// unset when survivor filtering maintained it without a search.
+	Recomputed bool
+	// Dropped is set when a re-enumeration under the session's budgets
+	// came back inexact: the cell left the cache (the next Enumerate
+	// rebuilds it) and Born/Size are meaningless.
+	Dropped bool
 }
 
 // Apply mutates the session's graph in place and invalidates only the
@@ -805,7 +933,43 @@ func (s *Session) Apply(d Delta) (ApplyStats, error) {
 		PoolRetained:     ast.PoolRetained,
 		PoolDropped:      ast.PoolDropped,
 		BridgeSeeds:      ast.BridgeSeeds,
+		EnumDiffs:        enumDiffsFromInternal(ast.EnumDiffs),
 	}, nil
+}
+
+func enumDiffsFromInternal(ds []session.EnumDiff) []EnumDiff {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]EnumDiff, len(ds))
+	for i, d := range ds {
+		mode := ModeRelative
+		if d.Weak {
+			mode = ModeWeak
+		}
+		out[i] = EnumDiff{
+			K:          int(d.K),
+			Delta:      int(d.Delta),
+			Mode:       mode,
+			Size:       int(d.Size),
+			Died:       cliquesToInt(d.Died),
+			Born:       cliquesToInt(d.Born),
+			Recomputed: d.Recomputed,
+			Dropped:    d.Dropped,
+		}
+	}
+	return out
+}
+
+func cliquesToInt(cs [][]int32) [][]int {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([][]int, len(cs))
+	for i, c := range cs {
+		out[i] = toInt(c)
+	}
+	return out
 }
 
 // N returns the current vertex count of the session's graph (it grows
@@ -839,6 +1003,58 @@ func (s *Session) Find(spec QuerySpec) (*Result, error) {
 	// Vertex ids are stable across Apply (appends only), so the latest
 	// graph is always valid for attribute accounting.
 	return resultFromCore(s.inner.Graph(), res), nil
+}
+
+// Enumerate answers an enumeration query on the warm session: every
+// maximum fair clique of spec's cell (KindEnumerateAll, or KindFind
+// for convenience), or the diversified top-R subset (KindTopR). Exact
+// sets are cached on the current graph generation and maintained
+// incrementally by Apply, so repeating the query after a delta is
+// usually free; Deadline/MaxNodes make the answer anytime (Exact
+// false, certified UpperBound, quarantined from every cache).
+func (s *Session) Enumerate(spec QuerySpec) (*ResultSet, error) {
+	q, err := s.normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	if q.Kind == session.KindFind {
+		q.Kind = session.KindEnumerateAll
+	}
+	rs, err := s.inner.Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	return resultSetFromInternal(rs), nil
+}
+
+// resultSetFromInternal converts the session layer's ResultSet to the
+// public int-typed one.
+func resultSetFromInternal(rs *session.ResultSet) *ResultSet {
+	out := &ResultSet{
+		Cliques:    make([][]int, len(rs.Cliques)),
+		Counts:     make([][2]int, len(rs.Cliques)),
+		Size:       int(rs.Size),
+		Exact:      rs.Exact,
+		UpperBound: int(rs.UpperBound),
+		Stats: SearchStats{
+			Nodes:           rs.Stats.Nodes,
+			BoundChecks:     rs.Stats.BoundChecks,
+			BoundPrunes:     rs.Stats.BoundPrunes,
+			ReducedVertices: int(rs.Stats.ReducedVertices),
+			ReducedEdges:    int(rs.Stats.ReducedEdges),
+			HeuristicSize:   rs.Stats.HeuristicSize,
+			FrontierPriced:  rs.Stats.FrontierPriced,
+		},
+	}
+	for i, c := range rs.Cliques {
+		out.Cliques[i] = toInt(c)
+		out.Counts[i] = [2]int{int(rs.Counts[i][0]), int(rs.Counts[i][1])}
+	}
+	if out.UpperBound < out.Size {
+		out.UpperBound = out.Size
+	}
+	out.Gap = out.UpperBound - out.Size
+	return out
 }
 
 // FindGrid answers a grid of cells, returning results aligned with
@@ -905,6 +1121,10 @@ func (s *Session) Stats() SessionStats {
 		BridgeSeeds:        st.BridgeSeeds,
 		BoundInjections:    st.BoundInjections,
 		SeedInjections:     st.SeedInjections,
+		Enumerations:       st.Enumerations,
+		EnumCacheHits:      st.EnumCacheHits,
+		EnumMaintained:     st.EnumMaintained,
+		EnumRecomputed:     st.EnumRecomputed,
 	}
 }
 

@@ -108,15 +108,15 @@ func TestDefaultOptions(t *testing.T) {
 	}
 }
 
-// Find must agree with Enumerate across random graphs and option
-// variants — the public-API version of the oracle test.
+// Find must agree with the exhaustive baseline across random graphs
+// and option variants — the public-API version of the oracle test.
 func TestFindMatchesEnumerate(t *testing.T) {
 	f := func(seed uint64, n8, k8, d8 uint8) bool {
 		n := int(n8%20) + 4
 		k := int(k8%3) + 1
 		delta := int(d8 % 4)
 		g := buildRandom(seed, n, 0.45)
-		want, err := Enumerate(g, k, delta)
+		want, err := FindExhaustive(g, k, delta)
 		if err != nil {
 			return false
 		}
@@ -204,8 +204,17 @@ func TestEnumerateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != nil {
-		t.Fatalf("k=3 infeasible in K4(2,2); got %v", got)
+	if !got.Exact || got.Size != 0 || len(got.Cliques) != 0 {
+		t.Fatalf("k=3 infeasible in K4(2,2); got %+v", got)
+	}
+	// The feasible cell: K4 with 2+2 attributes has exactly one
+	// maximum (2, 0)-fair clique — the whole graph.
+	got, err = Enumerate(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exact || got.Size != 4 || len(got.Cliques) != 1 {
+		t.Fatalf("K4(2,2) enumeration: want one size-4 clique, got %+v", got)
 	}
 }
 

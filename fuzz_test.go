@@ -47,7 +47,7 @@ func FuzzFind(f *testing.F) {
 				bit++
 			}
 		}
-		want, err := Enumerate(g, k, delta)
+		want, err := FindExhaustive(g, k, delta)
 		if err != nil {
 			t.Fatal(err)
 		}

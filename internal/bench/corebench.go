@@ -67,6 +67,12 @@ type CoreBenchResult struct {
 	// runs at fractions of the exact wall clock, each with its
 	// incumbent size and certified optimality gap.
 	Anytime *AnytimeBenchResult `json:"anytime,omitempty"`
+	// Enum, when present, is the enumeration experiment
+	// (`benchmark -exp enum`): the engine's collect-at-optimum
+	// enumeration versus the Bron–Kerbosch all-optima baseline on the
+	// same cell, set-equality verified, plus the diversified top-r
+	// coverage comparison.
+	Enum *EnumBenchResult `json:"enum,omitempty"`
 	// Serve, when present, is the daemon load experiment
 	// (`benchmark -exp serve`): concurrent HTTP clients against the
 	// in-process serve handler — qps, tail latency, cache hit rate and

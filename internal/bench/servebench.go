@@ -107,7 +107,7 @@ func ServeBench(cfg Config) (res ServeBenchResult, err error) {
 
 	// Warm the session once so the measured run is steady-state serving,
 	// not first-query preparation.
-	if code, body := do("POST", "/graphs/bench/query", "application/json", cells[0]); code != http.StatusOK {
+	if code, body := do("POST", "/v1/graphs/bench/query", "application/json", cells[0]); code != http.StatusOK {
 		return res, fmt.Errorf("serve bench warmup: status %d: %s", code, body)
 	}
 
@@ -133,9 +133,9 @@ func ServeBench(cfg Config) (res ServeBenchResult, err error) {
 					if (i/serveBenchMutateEvery)%2 == 1 {
 						op = fmt.Sprintf("-e:%d:%d", chord[0], chord[1])
 					}
-					code, body = do("POST", "/graphs/bench/mutate", "text/plain", op)
+					code, body = do("POST", "/v1/graphs/bench/mutate", "text/plain", op)
 				} else {
-					code, body = do("POST", "/graphs/bench/query", "application/json", cells[(c+i)%len(cells)])
+					code, body = do("POST", "/v1/graphs/bench/query", "application/json", cells[(c+i)%len(cells)])
 				}
 				local = append(local, float64(time.Since(t0).Microseconds())/1000.0)
 				if code != http.StatusOK && failed == nil {
@@ -164,7 +164,7 @@ func ServeBench(cfg Config) (res ServeBenchResult, err error) {
 	res.P99Ms = latencies[min(len(latencies)-1, len(latencies)*99/100)]
 
 	// Counters from the daemon's own metrics endpoint.
-	code, body := do("GET", "/metrics", "", "")
+	code, body := do("GET", "/v1/metrics", "", "")
 	if code != http.StatusOK {
 		return res, fmt.Errorf("serve bench: metrics status %d", code)
 	}
@@ -185,7 +185,7 @@ func ServeBench(cfg Config) (res ServeBenchResult, err error) {
 	// graph is back to the original; the daemon's answer (the query
 	// flushes any trailing buffered toggle first) must equal a
 	// from-scratch Find.
-	code, body = do("POST", "/graphs/bench/query", "application/json", cells[0])
+	code, body = do("POST", "/v1/graphs/bench/query", "application/json", cells[0])
 	if code != http.StatusOK {
 		return res, fmt.Errorf("serve bench: final query status %d: %s", code, body)
 	}

@@ -15,10 +15,19 @@ package bounds
 // such bound for a new cell. The bound is safe in the same sense as
 // the paper's Table II bounds: never below the true optimum.
 
-// GridCell is one exactly solved query: opt(K, Delta) == Size.
+// GridCell is one solved query: opt(K, Delta) <= Size, with equality
+// when Exact is set. Cells enter the table exact (Add) and lose
+// exactness — but stay safe upper bounds — when a graph mutation
+// relaxes the table (Relax).
 type GridCell struct {
 	K, Delta int32
 	Size     int32
+	// Exact reports that Size IS opt(K, Delta), not merely a bound.
+	// Enumeration queries use it: a collect-at-optimum search may adopt
+	// an exact cell's size as its incumbent floor (multi-result
+	// StopAtSize semantics — see core.Options.StopAtSize), which a
+	// non-tight upper bound must never feed.
+	Exact bool
 }
 
 // Weaker reports whether constraint (k1, d1) is no stricter than
@@ -41,14 +50,20 @@ func (t *GridTable) Add(k, delta, size int32) {
 	// Drop cells this one dominates for bounding purposes: if (k, δ) is
 	// weaker-or-equal than an existing cell and its value is <= that
 	// cell's, the existing cell can never give a strictly better bound.
+	// Exact cells are kept even when dominated as bounds — enumeration
+	// needs the per-cell optimum, not just the tightest bound — except
+	// when this very cell is being re-solved, which supersedes it.
 	kept := t.cells[:0]
 	for _, c := range t.cells {
-		if Weaker(k, delta, c.K, c.Delta) && size <= c.Size {
+		if c.K == k && c.Delta == delta {
+			continue
+		}
+		if !c.Exact && Weaker(k, delta, c.K, c.Delta) && size <= c.Size {
 			continue
 		}
 		kept = append(kept, c)
 	}
-	t.cells = append(kept, GridCell{K: k, Delta: delta, Size: size})
+	t.cells = append(kept, GridCell{K: k, Delta: delta, Size: size, Exact: true})
 }
 
 // UpperBound returns the tightest monotonicity bound on opt(k, delta)
@@ -67,6 +82,19 @@ func (t *GridTable) UpperBound(k, delta int32) (ub int32, ok bool) {
 // Cells returns the retained solved cells (for stats and tests).
 func (t *GridTable) Cells() []GridCell { return t.cells }
 
+// Exact returns the recorded optimum for cell (k, delta) when the table
+// holds it exactly. ok is false when the cell is absent or has been
+// relaxed since it was solved — callers must then treat any table value
+// as an upper bound only.
+func (t *GridTable) Exact(k, delta int32) (size int32, ok bool) {
+	for _, c := range t.cells {
+		if c.Exact && c.K == k && c.Delta == delta {
+			return c.Size, true
+		}
+	}
+	return 0, false
+}
+
 // Relax returns a new table whose every cell size is raised to at
 // least floor, leaving the receiver untouched. This is how solved
 // cells survive a graph mutation as upper bounds: after a delta whose
@@ -82,6 +110,10 @@ func (t *GridTable) Cells() []GridCell { return t.cells }
 // delta relaxes with floor 0 (cells keep their sizes — no longer
 // necessarily tight, but still safe upper bounds, which is all the
 // table ever promises).
+//
+// Every relaxed cell loses its Exact mark: deletions can shrink the
+// optimum even when the bound value is unchanged, so after any delta
+// the table only promises upper bounds until cells are re-solved.
 func (t *GridTable) Relax(floor int32) GridTable {
 	var out GridTable
 	for _, c := range t.cells {
@@ -89,7 +121,7 @@ func (t *GridTable) Relax(floor int32) GridTable {
 		if size < floor {
 			size = floor
 		}
-		out.Add(c.K, c.Delta, size)
+		out.cells = append(out.cells, GridCell{K: c.K, Delta: c.Delta, Size: size})
 	}
 	return out
 }

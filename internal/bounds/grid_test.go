@@ -53,17 +53,32 @@ func TestGridTableBounds(t *testing.T) {
 }
 
 // Add must drop cells made redundant by a weaker-or-equal cell with an
-// equal-or-smaller value, and only those.
+// equal-or-smaller value — except exact cells, whose per-cell optimum
+// enumeration still needs even when they are dominated as bounds.
 func TestGridTableRedundancyPruning(t *testing.T) {
 	var tab GridTable
 	tab.Add(3, 1, 8)
-	tab.Add(2, 2, 8) // weaker constraint, same value: (3,1) is redundant
-	if n := len(tab.Cells()); n != 1 {
-		t.Fatalf("%d cells retained, want 1: %+v", n, tab.Cells())
+	tab.Add(2, 2, 8) // weaker constraint, same value: (3,1) dominated as a bound
+	if n := len(tab.Cells()); n != 2 {
+		t.Fatalf("%d cells retained, want 2 (exact cells survive domination): %+v", n, tab.Cells())
+	}
+	// Re-solving the same cell supersedes it rather than duplicating.
+	tab.Add(2, 2, 8)
+	if n := len(tab.Cells()); n != 2 {
+		t.Fatalf("%d cells retained after re-add, want 2: %+v", n, tab.Cells())
 	}
 	tab.Add(3, 3, 6) // tighter value but incomparable constraint: kept
-	if n := len(tab.Cells()); n != 2 {
-		t.Fatalf("%d cells retained, want 2: %+v", n, tab.Cells())
+	if n := len(tab.Cells()); n != 3 {
+		t.Fatalf("%d cells retained, want 3: %+v", n, tab.Cells())
+	}
+	// An inexact (relaxed) dominated cell IS dropped: after Relax strips
+	// exactness, re-adding (2,2,8) makes the inexact (3,1,8) redundant.
+	relaxed := tab.Relax(0)
+	relaxed.Add(2, 2, 8)
+	for _, c := range relaxed.Cells() {
+		if c.K == 3 && c.Delta == 1 {
+			t.Fatalf("inexact dominated cell (3,1) survived Add: %+v", relaxed.Cells())
+		}
 	}
 	// Bounds combine: (3,1) is bounded by both retained cells and gets
 	// the tighter 6 from (3,3).
@@ -158,5 +173,32 @@ func TestGridTableRelax(t *testing.T) {
 	// The source table is untouched.
 	if ub, ok := tab.UpperBound(3, 0); !ok || ub != 0 {
 		t.Fatalf("source table mutated by Relax: %d/%v", ub, ok)
+	}
+}
+
+// Exact must answer only the precise cell, and only until a Relax —
+// after any delta the table holds upper bounds, not optima.
+func TestGridTableExact(t *testing.T) {
+	var tab GridTable
+	tab.Add(2, 1, 6)
+	if sz, ok := tab.Exact(2, 1); !ok || sz != 6 {
+		t.Fatalf("Exact(2,1) = %d/%v, want 6/true", sz, ok)
+	}
+	// A weaker solved cell bounds (3,0) but is not exact for it.
+	if _, ok := tab.Exact(3, 0); ok {
+		t.Fatal("Exact(3,0) answered from a different cell")
+	}
+	// Relax — even with floor 0 — strips exactness everywhere.
+	relaxed := tab.Relax(0)
+	if _, ok := relaxed.Exact(2, 1); ok {
+		t.Fatal("Exact survived Relax; deletions can shrink optima silently")
+	}
+	if ub, ok := relaxed.UpperBound(2, 1); !ok || ub != 6 {
+		t.Fatalf("relaxed bound lost: %d/%v, want 6/true", ub, ok)
+	}
+	// Re-solving restores exactness.
+	relaxed.Add(2, 1, 5)
+	if sz, ok := relaxed.Exact(2, 1); !ok || sz != 5 {
+		t.Fatalf("Exact after re-solve = %d/%v, want 5/true", sz, ok)
 	}
 }

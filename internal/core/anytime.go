@@ -371,7 +371,9 @@ func (s *searcher) injectBound(ub int32) {
 			break
 		}
 	}
-	if st := s.stopAt.Load(); st > 0 && s.bestSize.Load() >= st {
+	// Not in collect mode: reaching the optimum size does not mean every
+	// optimum-sized clique has been visited yet.
+	if st := s.stopAt.Load(); !s.collectAll && st > 0 && s.bestSize.Load() >= st {
 		s.done.Store(true)
 	}
 }

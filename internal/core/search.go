@@ -131,7 +131,25 @@ type Options struct {
 	// incumbent reaches it, and the result is still exact. Supplying a
 	// value below the true optimum makes the result inexact, so callers
 	// must only pass proven bounds.
+	//
+	// Multi-result semantics: with CollectAll set, StopAtSize must be
+	// the EXACTLY KNOWN optimum size (not merely an upper bound) — the
+	// search uses it as an incumbent floor that sharpens pruning and
+	// restricts collection to cliques of that size, but it never stops
+	// early on it, because every optimum-sized clique must still be
+	// visited. Passing a non-tight upper bound in collect mode yields an
+	// empty result set.
 	StopAtSize int
+	// CollectAll switches the search into collect-at-optimum mode: in
+	// addition to one maximum fair clique, Result.Cliques receives EVERY
+	// maximum fair clique (canonically sorted, deduplicated). Pruning is
+	// relaxed from "no better than the incumbent" to "strictly worse
+	// than the incumbent" so ties survive, and StopAtSize/injected
+	// bounds never finish the run early (see StopAtSize). An aborted
+	// collect run (MaxNodes/Deadline) returns the partial set found so
+	// far with Stats.Aborted set; such sets are incomplete and must be
+	// quarantined like any anytime result.
+	CollectAll bool
 	// Pool, when non-nil, hands the search's parallelism to a shared
 	// work-stealing scheduler instead of the private per-component
 	// split: the search branches every component serially on the
@@ -190,6 +208,12 @@ type Result struct {
 	// trusted StopAtSize or injected bound. Always >= len(Clique), so
 	// UpperBound - len(Clique) is a sound optimality gap.
 	UpperBound int32
+	// Cliques, in CollectAll mode, holds every maximum fair clique:
+	// each ascending-sorted, the set deduplicated and ordered
+	// lexicographically. Nil outside collect mode. When Stats.Aborted
+	// is set it is only the incumbent-sized cliques found within the
+	// budget — an incomplete set.
+	Cliques [][]int32
 	// Stats describes the search effort.
 	Stats Stats
 }
@@ -373,10 +397,11 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 	res.Stats.Components = len(p.comps)
 
 	s := &searcher{
-		p:     p,
-		k:     int32(opt.K),
-		delta: int32(opt.Delta),
-		opt:   opt,
+		p:          p,
+		k:          int32(opt.K),
+		delta:      int32(opt.Delta),
+		opt:        opt,
+		collectAll: opt.CollectAll,
 	}
 	s.stopAt.Store(int32(opt.StopAtSize))
 	if !opt.Deadline.IsZero() {
@@ -390,6 +415,21 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		s.seed = seed
 		s.bestSize.Store(int32(len(seed)))
 	}
+	if s.collectAll {
+		// In collect mode a trusted StopAtSize is the exactly known
+		// optimum: adopt it as an incumbent floor so pruning is as sharp
+		// as an exact re-run, and only optimum-sized cliques collect.
+		if st := s.stopAt.Load(); st > s.bestSize.Load() {
+			s.bestSize.Store(st)
+		}
+		if len(seed) > 0 && int32(len(seed)) == s.bestSize.Load() {
+			// The seed belongs in the result set: it is a valid fair
+			// clique of incumbent size. The search re-finds it anyway
+			// (ties survive collect-mode pruning); dedup absorbs the
+			// duplicate.
+			s.all = append(s.all, canonClique(append([]int32(nil), seed...)))
+		}
+	}
 	if opt.Injector != nil {
 		opt.Injector.attach(s)
 		defer opt.Injector.detach()
@@ -400,6 +440,9 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 			res.Clique = append([]int32(nil), s.best...)
 		} else {
 			res.Clique = cloneSeed(s.seed)
+		}
+		if s.collectAll {
+			res.Cliques = dedupCliques(s.all)
 		}
 		s.mu.Unlock()
 		res.UpperBound = int32(len(res.Clique))
@@ -412,13 +455,12 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		h := heuristic.HeurRFC(p.work, s.k, s.delta)
 		if h.Clique != nil {
 			res.Stats.HeuristicSize = len(h.Clique)
-			if int32(len(h.Clique)) > s.bestSize.Load() {
-				s.best = mapVerts(h.Clique, p.toOrig)
-				s.bestSize.Store(int32(len(h.Clique)))
-			}
+			// record, not a direct write: in collect mode a strict
+			// improvement must also reset the accumulator.
+			s.record(h.Clique, p.toOrig)
 		}
 	}
-	if st := s.stopAt.Load(); st > 0 && s.bestSize.Load() >= st {
+	if st := s.stopAt.Load(); !s.collectAll && st > 0 && s.bestSize.Load() >= st {
 		s.done.Store(true) // the incumbent already meets the trusted bound
 	}
 	if s.deadline != 0 && time.Now().UnixNano() >= s.deadline {
@@ -527,9 +569,11 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 	res.Stats.BoundPrunes = s.boundPrunes.Load()
 	res.Stats.Donations = s.donations.Load()
 	aborted := s.aborted.Load()
-	if st := s.stopAt.Load(); aborted && st > 0 && s.bestSize.Load() >= st {
+	if st := s.stopAt.Load(); !s.collectAll && aborted && st > 0 && s.bestSize.Load() >= st {
 		// The incumbent meets a trusted optimum bound, so it is provably
-		// optimal even though a budget also tripped: report exact.
+		// optimal even though a budget also tripped: report exact. (Not
+		// in collect mode: an interrupted enumeration is missing cliques
+		// even when the incumbent size is provably optimal.)
 		aborted = false
 	}
 	res.Stats.Aborted = aborted
@@ -538,6 +582,12 @@ func (p *Prepared) Search(opt Options, seed []int32) (*Result, error) {
 		res.Clique = append([]int32(nil), s.best...)
 	} else {
 		res.Clique = cloneSeed(s.seed)
+	}
+	if s.collectAll {
+		res.Cliques = dedupCliques(s.all)
+		if res.Clique == nil && len(res.Cliques) > 0 {
+			res.Clique = append([]int32(nil), res.Cliques[0]...)
+		}
 	}
 	s.mu.Unlock()
 	switch {
@@ -591,6 +641,13 @@ type searcher struct {
 	best     []int32      // in ORIGINAL graph ids
 	bestSize atomic.Int32 // fast reads on the hot path
 
+	// Collect-at-optimum accumulator (Options.CollectAll): every clique
+	// of the current incumbent size, canonically sorted, in ORIGINAL
+	// ids. Guarded by mu; reset whenever the incumbent strictly grows;
+	// deduplicated once at the end of Search.
+	collectAll bool
+	all        [][]int32
+
 	nodes       atomic.Int64
 	boundChecks atomic.Int64
 	boundPrunes atomic.Int64
@@ -612,18 +669,29 @@ type searcher struct {
 func (s *searcher) halted() bool { return s.aborted.Load() || s.done.Load() }
 
 // record publishes a fair clique (in component ids, mapped to original
-// ids through toOrig) if it improves the incumbent. The comparison runs
-// against bestSize, not len(best), because a warm-start seed raises the
-// former without materializing the latter.
+// ids through toOrig) if it improves the incumbent — or, in collect
+// mode, ties it. The comparison runs against bestSize, not len(best),
+// because a warm-start seed raises the former without materializing the
+// latter.
 func (s *searcher) record(r []int32, toOrig []int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sz := int32(len(r)); sz > s.bestSize.Load() {
+	sz := int32(len(r))
+	switch cur := s.bestSize.Load(); {
+	case sz > cur:
 		s.best = mapVerts(r, toOrig)
 		s.bestSize.Store(sz)
-		if st := s.stopAt.Load(); st > 0 && sz >= st {
+		if s.collectAll {
+			s.all = append(s.all[:0], canonClique(s.best))
+		} else if st := s.stopAt.Load(); st > 0 && sz >= st {
 			s.done.Store(true)
 		}
+	case s.collectAll && sz == cur && cur > 0:
+		mapped := mapVerts(r, toOrig)
+		if s.best == nil {
+			s.best = mapped // a StopAtSize floor was met without a seed
+		}
+		s.all = append(s.all, canonClique(mapped))
 	}
 }
 
@@ -633,13 +701,80 @@ func (s *searcher) record(r []int32, toOrig []int32) {
 func (s *searcher) recordOrig(r []int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sz := int32(len(r)); sz > s.bestSize.Load() {
+	sz := int32(len(r))
+	switch cur := s.bestSize.Load(); {
+	case sz > cur:
 		s.best = append([]int32(nil), r...)
 		s.bestSize.Store(sz)
-		if st := s.stopAt.Load(); st > 0 && sz >= st {
+		if s.collectAll {
+			s.all = append(s.all[:0], canonClique(s.best))
+		} else if st := s.stopAt.Load(); st > 0 && sz >= st {
 			s.done.Store(true)
 		}
+	case s.collectAll && sz == cur && cur > 0:
+		mapped := append([]int32(nil), r...)
+		if s.best == nil {
+			s.best = mapped
+		}
+		s.all = append(s.all, canonClique(mapped))
 	}
+}
+
+// canonClique returns the canonical (ascending-sorted) form of a clique
+// whose backing array the caller owns; used only off the hot path, on
+// cliques entering the collect accumulator.
+func canonClique(c []int32) []int32 {
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+// cut reports whether a node whose best reachable clique size is total
+// can be pruned: in the default mode anything no better than the
+// incumbent, in collect mode only what is strictly worse (ties must
+// survive so every optimum-sized clique is visited).
+func (s *searcher) cut(total int32) bool {
+	if s.collectAll {
+		return total < s.bestSize.Load()
+	}
+	return total <= s.bestSize.Load()
+}
+
+// dedupCliques sorts the collected cliques lexicographically (each
+// already canonical) and drops duplicates — declare branches can visit
+// one clique through several construction orders.
+func dedupCliques(all [][]int32) [][]int32 {
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool { return cliqueLess(all[i], all[j]) })
+	out := all[:1]
+	for _, c := range all[1:] {
+		if !cliqueEqual(out[len(out)-1], c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func cliqueLess(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func cliqueEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // useSliceOracle forces the legacy binary-search slice path for every
@@ -1000,7 +1135,7 @@ func (s *searcher) searchComponentPooled(ci int, scope *sched.Scope) {
 	if s.halted() {
 		return // un-accounted: the frontier sweep prices the component
 	}
-	if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+	if s.cut(int32(len(comp))) || len(comp) < 2*s.opt.K {
 		s.accountComp(ci) // provably no improvement here
 		return
 	}
@@ -1051,7 +1186,7 @@ func (s *searcher) searchComponent(ci int, workers int) {
 	if s.halted() {
 		return // un-accounted: the frontier sweep prices the component
 	}
-	if int32(len(comp)) <= s.bestSize.Load() || len(comp) < 2*s.opt.K {
+	if s.cut(int32(len(comp))) || len(comp) < 2*s.opt.K {
 		s.accountComp(ci) // provably no improvement here
 		return
 	}
@@ -1319,12 +1454,12 @@ func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits *graph.LiveRo
 	}
 	w.countNode()
 	if cnt[0] >= s.k && cnt[1] >= s.k && abs32(cnt[0]-cnt[1]) <= s.delta {
-		if int32(depth) > s.bestSize.Load() {
+		if bs := s.bestSize.Load(); int32(depth) > bs || (s.collectAll && int32(depth) == bs) {
 			s.record(w.rbuf[:depth], w.d.toOrig)
 		}
 	}
 	total := int32(depth) + avail[0] + avail[1]
-	if total <= s.bestSize.Load() || total < 2*s.k {
+	if s.cut(total) || total < 2*s.k {
 		return false
 	}
 	if cnt[0]+avail[0] < s.k || cnt[1]+avail[1] < s.k {
@@ -1346,7 +1481,7 @@ func (w *worker) prologue(depth int, cnt, avail [2]int32, candBits *graph.LiveRo
 		} else {
 			ub = w.ev.Evaluate(w.d.comp, w.rbuf[:depth], candSlice, s.delta, s.opt.Extra)
 		}
-		if ub <= s.bestSize.Load() || ub < 2*s.k {
+		if s.cut(ub) || ub < 2*s.k {
 			s.boundPrunes.Add(1)
 			return false
 		}

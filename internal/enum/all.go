@@ -1,0 +1,201 @@
+package enum
+
+// All-optima variants of the enumeration baseline: every maximum fair
+// clique, not just one. They are the differential oracles for the
+// engine's collect-at-optimum mode (core.Options.CollectAll).
+//
+// Correctness of the Bron–Kerbosch route for *all* optima needs one
+// step beyond the single-answer argument: a maximum fair clique F need
+// NOT be a maximal clique, but it extends to some maximal clique M, and
+// F itself witnesses fairCap(M) >= |F| while the global optimality of
+// |F| forces fairCap(M) <= |F|. So every maximum fair clique lies
+// inside a maximal clique whose fairCap equals the optimum, and is
+// recovered by carving every valid (xa, xb) attribute split out of
+// every such maximal clique — not merely one greedy carve.
+
+import (
+	"math/bits"
+	"sort"
+
+	"fairclique/internal/graph"
+)
+
+// AllMaxFairCliques returns every maximum relative fair clique of g for
+// (k, delta): each ascending-sorted, the set deduplicated and in
+// lexicographic order. Nil when no fair clique exists. Exponential in
+// the worst case like the rest of the baseline; exact.
+func AllMaxFairCliques(g *graph.Graph, k, delta int) [][]int32 {
+	// Pass 1 (single sweep): the optimum and every maximal clique
+	// attaining it as fairCap.
+	opt := 0
+	var hosts [][]int32
+	MaximalCliques(g, func(c []int32) bool {
+		na, nb := g.CountAttrs(c)
+		cap_, ok := fairCap(na, nb, k, delta)
+		if !ok || cap_ < opt {
+			return true
+		}
+		if cap_ > opt {
+			opt = cap_
+			hosts = hosts[:0]
+		}
+		hosts = append(hosts, append([]int32(nil), c...))
+		return true
+	})
+	if opt == 0 {
+		return nil
+	}
+	// Pass 2: carve every fair subset of size opt out of every host.
+	// The same fair clique can sit inside several hosts (it need not be
+	// maximal), so the union is deduplicated canonically.
+	var all [][]int32
+	for _, m := range hosts {
+		var av, bv []int32
+		for _, v := range m {
+			if g.Attr(v) == graph.AttrA {
+				av = append(av, v)
+			} else {
+				bv = append(bv, v)
+			}
+		}
+		for xa := k; xa <= len(av); xa++ {
+			xb := opt - xa
+			if xb < k || xb > len(bv) {
+				continue
+			}
+			if d := xa - xb; d > delta || -d > delta {
+				continue
+			}
+			combinations(av, xa, func(pa []int32) {
+				combinations(bv, xb, func(pb []int32) {
+					c := make([]int32, 0, opt)
+					c = append(append(c, pa...), pb...)
+					sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+					all = append(all, c)
+				})
+			})
+		}
+	}
+	return dedupSorted(all)
+}
+
+// combinations invokes fn with every size-r subset of set. fn must not
+// retain the slice.
+func combinations(set []int32, r int, fn func([]int32)) {
+	if r > len(set) {
+		return
+	}
+	pick := make([]int32, 0, r)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(pick) == r {
+			fn(pick)
+			return
+		}
+		// Not enough remaining to fill pick: prune.
+		for i := start; i <= len(set)-(r-len(pick)); i++ {
+			pick = append(pick, set[i])
+			rec(i + 1)
+			pick = pick[:len(pick)-1]
+		}
+	}
+	rec(0)
+}
+
+// BruteForceAllMaxFair enumerates every vertex subset of g (n <= 18)
+// and returns every maximum fair clique in canonical order, or nil.
+// The ground-truth oracle for the all-optima enumerators.
+func BruteForceAllMaxFair(g *graph.Graph, k, delta int) [][]int32 {
+	n := int(g.N())
+	if n > 18 {
+		panic("enum: BruteForceAllMaxFair limited to 18 vertices")
+	}
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			adj[v] |= 1 << uint(w)
+		}
+	}
+	bestSize := 0
+	var masks []uint32
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		size := bits.OnesCount32(mask)
+		if size < bestSize || size < 2*k {
+			continue
+		}
+		na := 0
+		ok := true
+		for m := mask; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &^= 1 << uint(v)
+			if adj[v]&mask != mask&^(1<<uint(v)) {
+				ok = false
+				break
+			}
+			if g.Attr(int32(v)) == graph.AttrA {
+				na++
+			}
+		}
+		if !ok {
+			continue
+		}
+		nb := size - na
+		if na < k || nb < k || na-nb > delta || nb-na > delta {
+			continue
+		}
+		if size > bestSize {
+			bestSize = size
+			masks = masks[:0]
+		}
+		masks = append(masks, mask)
+	}
+	if bestSize == 0 {
+		return nil
+	}
+	all := make([][]int32, 0, len(masks))
+	for _, mask := range masks {
+		c := make([]int32, 0, bestSize)
+		for m := mask; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &^= 1 << uint(v)
+			c = append(c, int32(v))
+		}
+		all = append(all, c) // ascending by construction
+	}
+	return dedupSorted(all)
+}
+
+// dedupSorted canonicalizes a set of ascending-sorted cliques:
+// lexicographic order, adjacent duplicates dropped.
+func dedupSorted(all [][]int32) [][]int32 {
+	sort.Slice(all, func(i, j int) bool { return cliqueLess(all[i], all[j]) })
+	out := all[:0]
+	for i, c := range all {
+		if i > 0 && cliqueEq(out[len(out)-1], c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func cliqueLess(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func cliqueEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

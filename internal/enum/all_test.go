@@ -1,0 +1,78 @@
+package enum
+
+import (
+	"testing"
+
+	"fairclique/internal/graph"
+	"fairclique/internal/rng"
+)
+
+func randomGraph(seed uint64, n int, p float64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetAttr(int32(v), graph.Attr(r.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func sameCliqueSets(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !cliqueEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The Bron–Kerbosch all-optima carver must agree with the exhaustive
+// subset oracle on every graph small enough to brute-force.
+func TestAllMaxFairCliquesVsBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		n := 8 + int(seed%9) // 8..16
+		g := randomGraph(seed, n, 0.45)
+		for k := 1; k <= 3; k++ {
+			for delta := 0; delta <= 3; delta++ {
+				got := AllMaxFairCliques(g, k, delta)
+				want := BruteForceAllMaxFair(g, k, delta)
+				if !sameCliqueSets(got, want) {
+					t.Fatalf("seed=%d n=%d k=%d δ=%d: carver %v != oracle %v",
+						seed, n, k, delta, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Internal consistency: the single-answer baseline's optimum must equal
+// the all-optima set's clique size, and its answer must be a member.
+func TestAllMaxFairCliquesContainsSingle(t *testing.T) {
+	for seed := uint64(100); seed < 112; seed++ {
+		g := randomGraph(seed, 18, 0.4)
+		for _, kd := range [][2]int{{1, 1}, {2, 0}, {2, 2}, {3, 1}} {
+			k, delta := kd[0], kd[1]
+			all := AllMaxFairCliques(g, k, delta)
+			single := MaxFairClique(g, k, delta)
+			if (single == nil) != (len(all) == 0) {
+				t.Fatalf("seed=%d k=%d δ=%d: single=%v all=%v", seed, k, delta, single, all)
+			}
+			if single == nil {
+				continue
+			}
+			if len(single) != len(all[0]) {
+				t.Fatalf("seed=%d k=%d δ=%d: single size %d != set size %d",
+					seed, k, delta, len(single), len(all[0]))
+			}
+		}
+	}
+}

@@ -106,7 +106,7 @@ func TestServeGridWithBudgets(t *testing.T) {
 	createGraph(t, ts, "mix", denseGraphText(11, 36, 0.5))
 
 	gridBody := `{"cells":[{"k":2,"delta":1},{"k":2,"delta":1,"max_nodes":1}]}`
-	data := request(t, ts, "POST", "/graphs/mix/grid", "application/json", gridBody, http.StatusOK)
+	data := request(t, ts, "POST", "/v1/graphs/mix/grid", "application/json", gridBody, http.StatusOK)
 	var out GridResponse
 	mustUnmarshal(t, data, &out)
 	if len(out.Results) != 2 {
@@ -125,7 +125,7 @@ func TestServeGridWithBudgets(t *testing.T) {
 
 	// Re-running the grid: the exact cell hits the cache, a budgeted
 	// inexact cell never does.
-	data = request(t, ts, "POST", "/graphs/mix/grid", "application/json", gridBody, http.StatusOK)
+	data = request(t, ts, "POST", "/v1/graphs/mix/grid", "application/json", gridBody, http.StatusOK)
 	mustUnmarshal(t, data, &out)
 	if !out.Results[0].Cached {
 		t.Fatal("exact cell missed the cache on replay")

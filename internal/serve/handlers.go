@@ -65,9 +65,72 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeErr writes {"error": ...} with the given status.
+// ErrorBody is the single error shape every endpoint answers with:
+// a stable machine-readable code, the human message, and — for
+// line-oriented bodies (graph uploads, op streams) — the 1-based line
+// the failure was detected on.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Line    int    `json:"line,omitempty"`
+}
+
+// ErrorEnvelope wraps ErrorBody as {"error": {...}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// errCode maps a status to its default error code; handlers that know
+// a more precise cause (flush_failed) use writeErrCode directly.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
+// errLine extracts the line number from a "line N:" fragment in the
+// message (graph readers and the op stream both mark errors that way);
+// 0 when the error names no line.
+func errLine(msg string) int {
+	i := strings.Index(msg, "line ")
+	if i < 0 {
+		return 0
+	}
+	var n int
+	if _, err := fmt.Sscanf(msg[i:], "line %d", &n); err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// writeErr writes the error envelope with the status's default code.
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeErrCode(w, status, errCode(status), err)
+}
+
+// writeErrCode writes {"error": {"code", "message", "line"}}.
+func writeErrCode(w http.ResponseWriter, status int, code string, err error) {
+	msg := err.Error()
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code:    code,
+		Message: msg,
+		Line:    errLine(msg),
+	}})
 }
 
 // writeEntryErr maps a GraphEntry error to a status: a failed
@@ -75,7 +138,7 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // else is request validation (400).
 func writeEntryErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrFlushFailed) {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErrCode(w, http.StatusInternalServerError, "flush_failed", err)
 		return
 	}
 	writeErr(w, http.StatusBadRequest, err)
@@ -407,6 +470,110 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// EnumerateRequest is one enumeration cell: all maximum fair cliques
+// of (k, δ, mode), or — when r > 0 — the diversified top-r subset by
+// distinct-vertex coverage. Budgets behave like QueryRequest's: a
+// budget-aborted enumeration answers exact:false and is never cached.
+type EnumerateRequest struct {
+	K     int    `json:"k"`
+	Delta int    `json:"delta"`
+	Mode  string `json:"mode,omitempty"` // "relative" (default), "weak", "strong"
+	// R > 0 selects the diversified top-r subset instead of the full
+	// set.
+	R          int   `json:"r,omitempty"`
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	MaxNodes   int64 `json:"max_nodes,omitempty"`
+}
+
+func (q EnumerateRequest) spec() (fairclique.QuerySpec, error) {
+	spec, err := QueryRequest{
+		K: q.K, Delta: q.Delta, Mode: q.Mode,
+		DeadlineMs: q.DeadlineMs, MaxNodes: q.MaxNodes,
+	}.spec()
+	if err != nil {
+		return spec, err
+	}
+	if q.R < 0 {
+		return spec, fmt.Errorf("serve: r must be >= 0, got %d", q.R)
+	}
+	spec.Kind = fairclique.KindEnumerateAll
+	if q.R > 0 {
+		spec.Kind = fairclique.KindTopR
+		spec.R = q.R
+	}
+	return spec, nil
+}
+
+// EnumerateResponse is one answered enumeration cell.
+type EnumerateResponse struct {
+	// Cliques are ascending-sorted, deduplicated, in lexicographic
+	// order; Counts[i] = [count_a, count_b] of Cliques[i].
+	Cliques [][]int  `json:"cliques"`
+	Counts  [][2]int `json:"counts"`
+	Size    int      `json:"size"`
+	Count   int      `json:"count"`
+	// Exact is false only when a budget aborted the search: Cliques
+	// then holds the optimum-sized cliques found so far.
+	Exact      bool  `json:"exact"`
+	UpperBound int   `json:"upper_bound"`
+	Gap        int   `json:"gap"`
+	Cached     bool  `json:"cached"`
+	Epoch      int64 `json:"epoch"`
+	Nodes      int64 `json:"nodes"`
+}
+
+func enumResponse(rs *fairclique.ResultSet, cached bool, epoch int64) EnumerateResponse {
+	cliques := rs.Cliques
+	if cliques == nil {
+		cliques = [][]int{}
+	}
+	counts := rs.Counts
+	if counts == nil {
+		counts = [][2]int{}
+	}
+	return EnumerateResponse{
+		Cliques:    cliques,
+		Counts:     counts,
+		Size:       rs.Size,
+		Count:      len(rs.Cliques),
+		Exact:      rs.Exact,
+		UpperBound: rs.UpperBound,
+		Gap:        rs.Gap,
+		Cached:     cached,
+		Epoch:      epoch,
+		Nodes:      rs.Stats.Nodes,
+	}
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req EnumerateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.adm.Admit(r.Context(), clientID(r))
+	if err != nil {
+		writeAdmissionErr(w, err)
+		return
+	}
+	defer release()
+	rs, cached, epoch, err := e.Enumerate(spec)
+	if err != nil {
+		writeEntryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, enumResponse(rs, cached, epoch))
+}
+
 // writeAdmissionErr maps admission failures to statuses.
 func writeAdmissionErr(w http.ResponseWriter, err error) {
 	switch {
@@ -478,7 +645,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Flush {
 		if _, err := e.Flush(); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeEntryErr(w, err)
 			return
 		}
 		res.Flushes++
@@ -625,7 +792,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	before := e.Flushes()
 	epoch, err := e.Flush()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeEntryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, FlushResponse{Epoch: epoch, Flushed: e.Flushes() > before})

@@ -38,11 +38,12 @@ func (r *Registry) Create(name string, g *fairclique.Graph) (*GraphEntry, error)
 		return nil, fmt.Errorf("serve: graph name must be non-empty")
 	}
 	e := &GraphEntry{
-		name:  name,
-		sess:  fairclique.NewSession(g, fairclique.SessionOptions{Workers: r.cfg.Workers}),
-		cfg:   r.cfg,
-		cache: make(map[cacheKey]*fairclique.Result),
-		live:  make(map[int64]int),
+		name:   name,
+		sess:   fairclique.NewSession(g, fairclique.SessionOptions{Workers: r.cfg.Workers}),
+		cfg:    r.cfg,
+		cache:  make(map[cacheKey]*fairclique.Result),
+		ecache: make(map[cacheKey]*fairclique.ResultSet),
+		live:   make(map[int64]int),
 	}
 	e.buf.reset()
 	r.mu.Lock()
@@ -107,12 +108,16 @@ func (r *Registry) Names() []string {
 
 // cacheKey identifies one cached answer. The epoch makes correctness
 // trivial: a flush bumps the session epoch, so entries of the old
-// generation can never be returned for the new graph.
+// generation can never be returned for the new graph. kind and r are
+// zero for Find cells; they distinguish enumeration shapes (the full
+// set vs each top-r cut) in the enumeration cache.
 type cacheKey struct {
 	epoch int64
 	k     int
 	delta int
 	mode  fairclique.Mode
+	kind  fairclique.QueryKind
+	r     int
 }
 
 // GraphEntry is one tenant: a live Session plus the serving state
@@ -131,6 +136,7 @@ type GraphEntry struct {
 
 	cacheMu     sync.Mutex
 	cache       map[cacheKey]*fairclique.Result
+	ecache      map[cacheKey]*fairclique.ResultSet
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
@@ -390,6 +396,11 @@ func (e *GraphEntry) flushLocked() error {
 			delete(e.cache, k)
 		}
 	}
+	for k := range e.ecache {
+		if k.epoch != ast.Epoch {
+			delete(e.ecache, k)
+		}
+	}
 	e.cacheMu.Unlock()
 	return nil
 }
@@ -472,6 +483,44 @@ func (e *GraphEntry) storeCached(key cacheKey, r *fairclique.Result) {
 		e.cache[key] = r
 	}
 	e.cacheMu.Unlock()
+}
+
+// Enumerate answers one enumeration cell through the same serving path
+// as Query: flush barrier first, per-epoch result cache, epoch gauge
+// while the search runs. Inexact (budget-aborted) sets are never
+// cached — a replayed partial set would masquerade as the truth.
+func (e *GraphEntry) Enumerate(spec fairclique.QuerySpec) (rs *fairclique.ResultSet, cached bool, epoch int64, err error) {
+	epoch, err = e.ensureFlushed()
+	if err != nil {
+		return nil, false, 0, err
+	}
+	key := cacheKey{
+		epoch: epoch, k: spec.K, delta: spec.Delta, mode: spec.Mode,
+		kind: spec.Kind, r: spec.R,
+	}
+	e.cacheMu.Lock()
+	if s, ok := e.ecache[key]; ok {
+		e.cacheMu.Unlock()
+		e.cacheHits.Add(1)
+		return s, true, epoch, nil
+	}
+	e.cacheMu.Unlock()
+	e.cacheMisses.Add(1)
+
+	e.gaugeAdd(epoch, 1)
+	defer e.gaugeAdd(epoch, -1)
+	rs, err = e.sess.Enumerate(spec)
+	if err != nil {
+		return nil, false, epoch, err
+	}
+	if rs.Exact && e.epoch.Load() == key.epoch {
+		e.cacheMu.Lock()
+		if len(e.cache)+len(e.ecache) < e.cfg.MaxCacheEntries {
+			e.ecache[key] = rs
+		}
+		e.cacheMu.Unlock()
+	}
+	return rs, false, epoch, nil
 }
 
 // Grid answers a batch of cells like Session.FindGrid, with the same

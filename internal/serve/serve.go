@@ -151,29 +151,55 @@ func New(cfg Config) *Server {
 // generator reach the entries directly through it).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the daemon's HTTP handler. Routes:
+// Handler returns the daemon's HTTP handler. The API is versioned
+// under /v1; every error is the envelope {"error": {code, message,
+// line}}. Routes:
 //
-//	GET    /healthz              liveness
-//	GET    /metrics              admission, cache, latency, epoch gauge
-//	GET    /graphs               list graphs
-//	POST   /graphs               create (JSON {name, text | path[, attr_path, format]})
-//	GET    /graphs/{name}        graph info + session stats
-//	DELETE /graphs/{name}        drop the graph
-//	POST   /graphs/{name}/query  one cell  {k, delta, mode}
-//	POST   /graphs/{name}/grid   many cells {cells: [...]}
-//	POST   /graphs/{name}/mutate buffer mutations (JSON delta or text/plain op stream)
-//	POST   /graphs/{name}/flush  force-apply the write buffer
+//	GET    /v1/healthz                 liveness
+//	GET    /v1/metrics                 admission, cache, latency, epoch gauge
+//	GET    /v1/graphs                  list graphs
+//	POST   /v1/graphs                  create (JSON {name, text | path[, attr_path, format]})
+//	GET    /v1/graphs/{name}           graph info + session stats
+//	DELETE /v1/graphs/{name}           drop the graph
+//	POST   /v1/graphs/{name}/query     one cell  {k, delta, mode}
+//	POST   /v1/graphs/{name}/grid      many cells {cells: [...]}
+//	POST   /v1/graphs/{name}/enumerate all maximum fair cliques {k, delta, mode[, r]}
+//	POST   /v1/graphs/{name}/mutate    buffer mutations (JSON delta or text/plain op stream)
+//	POST   /v1/graphs/{name}/flush     force-apply the write buffer
+//
+// The pre-versioning unversioned paths answer 301 to their /v1 twin
+// for one release; clients must move (non-GET requests do not survive
+// a 301 in most HTTP clients).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
-	mux.HandleFunc("GET /graphs", s.wrap("graphs.list", s.handleListGraphs))
-	mux.HandleFunc("POST /graphs", s.wrap("graphs.create", s.handleCreateGraph))
-	mux.HandleFunc("GET /graphs/{name}", s.wrap("graphs.info", s.handleGraphInfo))
-	mux.HandleFunc("DELETE /graphs/{name}", s.wrap("graphs.delete", s.handleDeleteGraph))
-	mux.HandleFunc("POST /graphs/{name}/query", s.wrap("query", s.handleQuery))
-	mux.HandleFunc("POST /graphs/{name}/grid", s.wrap("grid", s.handleGrid))
-	mux.HandleFunc("POST /graphs/{name}/mutate", s.wrap("mutate", s.handleMutate))
-	mux.HandleFunc("POST /graphs/{name}/flush", s.wrap("flush", s.handleFlush))
+	mux.HandleFunc("GET /v1/healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/metrics", s.wrap("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/graphs", s.wrap("graphs.list", s.handleListGraphs))
+	mux.HandleFunc("POST /v1/graphs", s.wrap("graphs.create", s.handleCreateGraph))
+	mux.HandleFunc("GET /v1/graphs/{name}", s.wrap("graphs.info", s.handleGraphInfo))
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.wrap("graphs.delete", s.handleDeleteGraph))
+	mux.HandleFunc("POST /v1/graphs/{name}/query", s.wrap("query", s.handleQuery))
+	mux.HandleFunc("POST /v1/graphs/{name}/grid", s.wrap("grid", s.handleGrid))
+	mux.HandleFunc("POST /v1/graphs/{name}/enumerate", s.wrap("enumerate", s.handleEnumerate))
+	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.wrap("mutate", s.handleMutate))
+	mux.HandleFunc("POST /v1/graphs/{name}/flush", s.wrap("flush", s.handleFlush))
+	// Deprecated: the unversioned surface, one release of 301s.
+	for _, p := range []string{
+		"/healthz", "/metrics", "/graphs", "/graphs/{name}",
+		"/graphs/{name}/query", "/graphs/{name}/grid",
+		"/graphs/{name}/mutate", "/graphs/{name}/flush",
+	} {
+		mux.HandleFunc(p, redirectV1)
+	}
 	return mux
+}
+
+// redirectV1 301s an unversioned path to its /v1 twin, preserving the
+// query string.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusMovedPermanently)
 }

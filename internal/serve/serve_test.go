@@ -67,13 +67,13 @@ func request(t *testing.T, ts *httptest.Server, method, path, contentType, body 
 func createGraph(t *testing.T, ts *httptest.Server, name, text string) {
 	t.Helper()
 	body, _ := json.Marshal(CreateRequest{Name: name, Text: text})
-	request(t, ts, "POST", "/graphs", "application/json", string(body), http.StatusCreated)
+	request(t, ts, "POST", "/v1/graphs", "application/json", string(body), http.StatusCreated)
 }
 
 func queryGraph(t *testing.T, ts *httptest.Server, name string, q QueryRequest, wantStatus int) QueryResponse {
 	t.Helper()
 	body, _ := json.Marshal(q)
-	data := request(t, ts, "POST", "/graphs/"+name+"/query", "application/json", string(body), wantStatus)
+	data := request(t, ts, "POST", "/v1/graphs/"+name+"/query", "application/json", string(body), wantStatus)
 	var out QueryResponse
 	if wantStatus == http.StatusOK {
 		if err := json.Unmarshal(data, &out); err != nil {
@@ -86,16 +86,16 @@ func queryGraph(t *testing.T, ts *httptest.Server, name string, q QueryRequest, 
 func TestServeEndToEnd(t *testing.T) {
 	_, ts := startServer(t, Config{})
 
-	request(t, ts, "GET", "/healthz", "", "", http.StatusOK)
+	request(t, ts, "GET", "/v1/healthz", "", "", http.StatusOK)
 	createGraph(t, ts, "g", testGraphText)
 
 	// Duplicate name is a conflict.
 	body, _ := json.Marshal(CreateRequest{Name: "g", Text: testGraphText})
-	request(t, ts, "POST", "/graphs", "application/json", string(body), http.StatusConflict)
+	request(t, ts, "POST", "/v1/graphs", "application/json", string(body), http.StatusConflict)
 
 	// Info reflects the parsed graph.
 	var info GraphInfoResponse
-	if err := json.Unmarshal(request(t, ts, "GET", "/graphs/g", "", "", http.StatusOK), &info); err != nil {
+	if err := json.Unmarshal(request(t, ts, "GET", "/v1/graphs/g", "", "", http.StatusOK), &info); err != nil {
 		t.Fatal(err)
 	}
 	if info.Vertices != 5 || info.Edges != 7 {
@@ -123,7 +123,7 @@ func TestServeEndToEnd(t *testing.T) {
 	// Grid answers many cells at once, reusing cached ones.
 	gb, _ := json.Marshal(GridRequest{Cells: []QueryRequest{{K: 1, Delta: 1}, {K: 2, Delta: 0}}})
 	var grid GridResponse
-	if err := json.Unmarshal(request(t, ts, "POST", "/graphs/g/grid", "application/json", string(gb), http.StatusOK), &grid); err != nil {
+	if err := json.Unmarshal(request(t, ts, "POST", "/v1/graphs/g/grid", "application/json", string(gb), http.StatusOK), &grid); err != nil {
 		t.Fatal(err)
 	}
 	if len(grid.Results) != 2 {
@@ -140,14 +140,14 @@ func TestServeEndToEnd(t *testing.T) {
 	var list struct {
 		Graphs []GraphInfo `json:"graphs"`
 	}
-	if err := json.Unmarshal(request(t, ts, "GET", "/graphs", "", "", http.StatusOK), &list); err != nil {
+	if err := json.Unmarshal(request(t, ts, "GET", "/v1/graphs", "", "", http.StatusOK), &list); err != nil {
 		t.Fatal(err)
 	}
 	if len(list.Graphs) != 1 || list.Graphs[0].Name != "g" {
 		t.Fatalf("list = %+v; want [g]", list.Graphs)
 	}
-	request(t, ts, "DELETE", "/graphs/g", "", "", http.StatusOK)
-	request(t, ts, "DELETE", "/graphs/g", "", "", http.StatusNotFound)
+	request(t, ts, "DELETE", "/v1/graphs/g", "", "", http.StatusOK)
+	request(t, ts, "DELETE", "/v1/graphs/g", "", "", http.StatusNotFound)
 	queryGraph(t, ts, "g", q, http.StatusNotFound)
 }
 
@@ -155,7 +155,7 @@ func TestServeRawUploadAndLimits(t *testing.T) {
 	_, ts := startServer(t, Config{MaxVertices: 100, MaxEdges: 10})
 
 	// Raw text/plain upload.
-	request(t, ts, "POST", "/graphs?name=raw", "text/plain", testGraphText, http.StatusCreated)
+	request(t, ts, "POST", "/v1/graphs?name=raw", "text/plain", testGraphText, http.StatusCreated)
 	if r := queryGraph(t, ts, "raw", QueryRequest{K: 2}, http.StatusOK); r.Size != 4 {
 		t.Fatalf("uploaded graph query size = %d; want 4", r.Size)
 	}
@@ -166,20 +166,20 @@ func TestServeRawUploadAndLimits(t *testing.T) {
 		"overflow": "e 0 2000000000\n",
 		"toolong":  "v 0 a\n" + strings.Repeat("e 0 1\n", 11),
 	} {
-		data := request(t, ts, "POST", "/graphs?name="+name, "text/plain", text, http.StatusBadRequest)
+		data := request(t, ts, "POST", "/v1/graphs?name="+name, "text/plain", text, http.StatusBadRequest)
 		if !strings.Contains(string(data), "line") {
 			t.Errorf("%s upload: error %s does not name a line", name, data)
 		}
 	}
 
 	// A rejected upload must not register the graph.
-	request(t, ts, "GET", "/graphs/garbage", "", "", http.StatusNotFound)
+	request(t, ts, "GET", "/v1/graphs/garbage", "", "", http.StatusNotFound)
 
 	// An empty name is a malformed request (409 stays reserved for
 	// duplicate names).
-	request(t, ts, "POST", "/graphs", "text/plain", testGraphText, http.StatusBadRequest)
+	request(t, ts, "POST", "/v1/graphs", "text/plain", testGraphText, http.StatusBadRequest)
 	body, _ := json.Marshal(CreateRequest{Name: "", Text: testGraphText})
-	request(t, ts, "POST", "/graphs", "application/json", string(body), http.StatusBadRequest)
+	request(t, ts, "POST", "/v1/graphs", "application/json", string(body), http.StatusBadRequest)
 }
 
 // TestServeFlushFailureIs500: a flush failure is the server's invariant
@@ -202,13 +202,13 @@ func TestServeFlushFailureIs500(t *testing.T) {
 
 	corrupt()
 	qb, _ := json.Marshal(QueryRequest{K: 1, Delta: 5})
-	request(t, ts, "POST", "/graphs/g/query", "application/json", string(qb), http.StatusInternalServerError)
+	request(t, ts, "POST", "/v1/graphs/g/query", "application/json", string(qb), http.StatusInternalServerError)
 	gb, _ := json.Marshal(GridRequest{Cells: []QueryRequest{{K: 1, Delta: 5}}})
-	request(t, ts, "POST", "/graphs/g/grid", "application/json", string(gb), http.StatusInternalServerError)
-	request(t, ts, "POST", "/graphs/g/flush", "", "", http.StatusInternalServerError)
+	request(t, ts, "POST", "/v1/graphs/g/grid", "application/json", string(gb), http.StatusInternalServerError)
+	request(t, ts, "POST", "/v1/graphs/g/flush", "", "", http.StatusInternalServerError)
 
 	// A malformed query on the same endpoint is still the client's 400.
-	request(t, ts, "POST", "/graphs/g/query", "application/json", `{"k":1,"mode":"bogus"}`, http.StatusBadRequest)
+	request(t, ts, "POST", "/v1/graphs/g/query", "application/json", `{"k":1,"mode":"bogus"}`, http.StatusBadRequest)
 
 	e.mu.Lock()
 	e.buf.reset()
@@ -220,7 +220,7 @@ func TestServePathCreateGate(t *testing.T) {
 	// Path create is refused unless the operator opted in.
 	_, ts := startServer(t, Config{})
 	body, _ := json.Marshal(CreateRequest{Name: "g", Path: "/etc/hostname"})
-	request(t, ts, "POST", "/graphs", "application/json", string(body), http.StatusForbidden)
+	request(t, ts, "POST", "/v1/graphs", "application/json", string(body), http.StatusForbidden)
 
 	// With the gate open, a WriteGraph file round-trips through the
 	// daemon: same graph, same answers.
@@ -238,7 +238,7 @@ func TestServePathCreateGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	body, _ = json.Marshal(CreateRequest{Name: "disk", Path: path})
-	request(t, ts2, "POST", "/graphs", "application/json", string(body), http.StatusCreated)
+	request(t, ts2, "POST", "/v1/graphs", "application/json", string(body), http.StatusCreated)
 	want, err := fairclique.Find(g, fairclique.DefaultOptions(2, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -274,7 +274,7 @@ func TestServeMutateFlushOrderingAndCacheScope(t *testing.T) {
 	// stays max at δ=0 but (1,1) grows to 5 with counts 3a/2b.
 	mb, _ := json.Marshal(MutateRequest{AddEdges: [][2]int{{4, 1}, {4, 2}, {4, 3}}})
 	var mres MutateResponse
-	if err := json.Unmarshal(request(t, ts, "POST", "/graphs/g1/mutate", "application/json", string(mb), http.StatusOK), &mres); err != nil {
+	if err := json.Unmarshal(request(t, ts, "POST", "/v1/graphs/g1/mutate", "application/json", string(mb), http.StatusOK), &mres); err != nil {
 		t.Fatal(err)
 	}
 	if mres.BufferedOps != 3 || mres.Epoch != 0 {
@@ -283,7 +283,7 @@ func TestServeMutateFlushOrderingAndCacheScope(t *testing.T) {
 
 	// The buffer is invisible until a query arrives (flush barrier).
 	var info GraphInfoResponse
-	json.Unmarshal(request(t, ts, "GET", "/graphs/g1", "", "", http.StatusOK), &info)
+	json.Unmarshal(request(t, ts, "GET", "/v1/graphs/g1", "", "", http.StatusOK), &info)
 	if info.BufferedOps != 3 || info.Epoch != 0 || info.Edges != 7 {
 		t.Fatalf("pre-query info = %+v; want buffered=3 epoch=0 edges=7", info.GraphInfo)
 	}
@@ -302,21 +302,21 @@ func TestServeMutateFlushOrderingAndCacheScope(t *testing.T) {
 		t.Fatalf("g2 (2,0) = %+v; want still cached at epoch 0", r)
 	}
 
-	json.Unmarshal(request(t, ts, "GET", "/graphs/g1", "", "", http.StatusOK), &info)
+	json.Unmarshal(request(t, ts, "GET", "/v1/graphs/g1", "", "", http.StatusOK), &info)
 	if info.BufferedOps != 0 || info.Epoch != 1 || info.Flushes != 1 || info.Edges != 10 {
 		t.Fatalf("post-query info = %+v; want buffered=0 epoch=1 flushes=1 edges=10", info.GraphInfo)
 	}
 
 	// Explicit flush: buffered delete applies without a query.
 	mb, _ = json.Marshal(MutateRequest{DelEdges: [][2]int{{0, 4}}, Flush: true})
-	json.Unmarshal(request(t, ts, "POST", "/graphs/g1/mutate", "application/json", string(mb), http.StatusOK), &mres)
+	json.Unmarshal(request(t, ts, "POST", "/v1/graphs/g1/mutate", "application/json", string(mb), http.StatusOK), &mres)
 	if mres.BufferedOps != 0 || mres.Epoch != 2 {
 		t.Fatalf("flush-mutate = %+v; want empty buffer at epoch 2", mres)
 	}
 
 	// /metrics shows per-graph epochs and the global cache counters.
 	var met MetricsResponse
-	if err := json.Unmarshal(request(t, ts, "GET", "/metrics", "", "", http.StatusOK), &met); err != nil {
+	if err := json.Unmarshal(request(t, ts, "GET", "/v1/metrics", "", "", http.StatusOK), &met); err != nil {
 		t.Fatal(err)
 	}
 	if met.Graphs["g1"].Epoch != 2 || met.Graphs["g2"].Epoch != 0 {
@@ -340,7 +340,7 @@ func TestServeTextOpStream(t *testing.T) {
 	// Stream ops: add a b-vertex, wire it into the K4, drop an edge.
 	stream := "+v:b\n+e:5:0, +e:5:1 +e:5:2\n# comment\n\n+e:5:3\n-e:0:4\n"
 	var mres MutateResponse
-	data := request(t, ts, "POST", "/graphs/g/mutate", "text/plain", stream, http.StatusOK)
+	data := request(t, ts, "POST", "/v1/graphs/g/mutate", "text/plain", stream, http.StatusOK)
 	if err := json.Unmarshal(data, &mres); err != nil {
 		t.Fatal(err)
 	}
@@ -357,12 +357,12 @@ func TestServeTextOpStream(t *testing.T) {
 	}
 
 	// A malformed op is a line-numbered 400.
-	data = request(t, ts, "POST", "/graphs/g/mutate", "text/plain", "+e:0:1\nmangled\n", http.StatusBadRequest)
+	data = request(t, ts, "POST", "/v1/graphs/g/mutate", "text/plain", "+e:0:1\nmangled\n", http.StatusBadRequest)
 	if !strings.Contains(string(data), "line 2") {
 		t.Fatalf("bad op error %s does not name line 2", data)
 	}
 	// An out-of-range endpoint is rejected by the buffer, same 400 shape.
-	data = request(t, ts, "POST", "/graphs/g/mutate", "text/plain", "+e:0:99\n", http.StatusBadRequest)
+	data = request(t, ts, "POST", "/v1/graphs/g/mutate", "text/plain", "+e:0:99\n", http.StatusBadRequest)
 	if !strings.Contains(string(data), "line") {
 		t.Fatalf("out-of-range op error %s does not name a line", data)
 	}
@@ -399,7 +399,7 @@ func TestServeAdmissionHTTP(t *testing.T) {
 	createGraph(t, ts, "g", testGraphText)
 
 	// Blacklist applies to every endpoint, not only queries.
-	for _, path := range []string{"/graphs", "/graphs/g"} {
+	for _, path := range []string{"/v1/graphs", "/v1/graphs/g"} {
 		req, _ := http.NewRequest("GET", ts.URL+path, nil)
 		req.Header.Set("X-Client", "mallory")
 		resp, err := ts.Client().Do(req)
@@ -414,7 +414,7 @@ func TestServeAdmissionHTTP(t *testing.T) {
 
 	// Non-blacklisted clients are unaffected.
 	body, _ := json.Marshal(QueryRequest{K: 2})
-	req, _ := http.NewRequest("POST", ts.URL+"/graphs/g/query", strings.NewReader(string(body)))
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/graphs/g/query", strings.NewReader(string(body)))
 	req.Header.Set("X-Client", "alice")
 	resp, err := ts.Client().Do(req)
 	if err != nil {
@@ -427,7 +427,7 @@ func TestServeAdmissionHTTP(t *testing.T) {
 
 	// Blacklist rejections show up in /metrics.
 	var met MetricsResponse
-	json.Unmarshal(request(t, ts, "GET", "/metrics", "", "", http.StatusOK), &met)
+	json.Unmarshal(request(t, ts, "GET", "/v1/metrics", "", "", http.StatusOK), &met)
 	if met.Admission.RejectedBlacklist == 0 {
 		t.Fatal("metrics missed the blacklist rejections")
 	}
@@ -526,7 +526,7 @@ func TestServeCachedEqualsFresh(t *testing.T) {
 
 	check(-1)
 	for i, s := range steps {
-		request(t, ts, "POST", "/graphs/g/mutate", "text/plain", s.ops, http.StatusOK)
+		request(t, ts, "POST", "/v1/graphs/g/mutate", "text/plain", s.ops, http.StatusOK)
 		s.mirror()
 		check(i)
 	}
@@ -553,7 +553,7 @@ func TestServeConcurrentLoad(t *testing.T) {
 				switch (w + i) % 4 {
 				case 0:
 					body, _ := json.Marshal(QueryRequest{K: 1 + i%2, Delta: i % 3})
-					req, _ := http.NewRequest("POST", ts.URL+"/graphs/g/query", strings.NewReader(string(body)))
+					req, _ := http.NewRequest("POST", ts.URL+"/v1/graphs/g/query", strings.NewReader(string(body)))
 					req.Header.Set("X-Client", fmt.Sprintf("c%d", w))
 					resp, err := ts.Client().Do(req)
 					if err == nil {
@@ -566,7 +566,7 @@ func TestServeConcurrentLoad(t *testing.T) {
 					if i%2 == 1 {
 						op = "-e:0:4"
 					}
-					req, _ := http.NewRequest("POST", ts.URL+"/graphs/g/mutate", strings.NewReader(op))
+					req, _ := http.NewRequest("POST", ts.URL+"/v1/graphs/g/mutate", strings.NewReader(op))
 					req.Header.Set("Content-Type", "text/plain")
 					resp, err := ts.Client().Do(req)
 					if err == nil {
@@ -574,13 +574,13 @@ func TestServeConcurrentLoad(t *testing.T) {
 						resp.Body.Close()
 					}
 				case 2:
-					resp, err := ts.Client().Post(ts.URL+"/graphs/g/flush", "application/json", nil)
+					resp, err := ts.Client().Post(ts.URL+"/v1/graphs/g/flush", "application/json", nil)
 					if err == nil {
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
 					}
 				case 3:
-					resp, err := ts.Client().Get(ts.URL + "/metrics")
+					resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
 					if err == nil {
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
@@ -593,7 +593,7 @@ func TestServeConcurrentLoad(t *testing.T) {
 
 	// The graph must still answer correctly after the storm: settle the
 	// edge toggle and check the K4 is intact.
-	request(t, ts, "POST", "/graphs/g/mutate", "text/plain", "+e:0:4", http.StatusOK)
+	request(t, ts, "POST", "/v1/graphs/g/mutate", "text/plain", "+e:0:4", http.StatusOK)
 	if r := queryGraph(t, ts, "g", QueryRequest{K: 2, Delta: 0}, http.StatusOK); r.Size != 4 {
 		t.Fatalf("post-storm (2,0) size = %d; want 4", r.Size)
 	}

@@ -174,6 +174,14 @@ type Query struct {
 	K, Delta int32
 	Weak     bool
 
+	// Kind selects the query shape: KindFind (the zero value) answers
+	// with one maximum fair clique via Find/FindGrid; KindEnumerateAll
+	// and KindTopR are answered by Enumerate with every maximum fair
+	// clique, respectively a diversified r-subset of them.
+	Kind QueryKind
+	// R is the result budget for KindTopR (ignored otherwise).
+	R int
+
 	// Deadline, when non-zero, makes this query anytime: the search
 	// stops at the wall-clock budget and the result carries the best
 	// incumbent plus a certified upper bound (core.Result.UpperBound).
@@ -259,6 +267,13 @@ type Stats struct {
 	// from the halves' pooled cliques — is pooled so the merged
 	// component's first query starts warm instead of cold.
 	BridgeSeeds int64
+	// Enumerations counts Enumerate calls that ran the collect search;
+	// EnumCacheHits counts ones answered from the epoch's enumeration
+	// cache; EnumMaintained/EnumRecomputed count cached sets an Apply
+	// carried forward by survivor filtering vs re-enumerated from
+	// scratch.
+	Enumerations, EnumCacheHits    int64
+	EnumMaintained, EnumRecomputed int64
 	// BoundInjections/SeedInjections count live broadcasts: when a
 	// cell's exact answer lands, its size is pushed as a trusted bound
 	// into every still-running search of a dominated cell and its
@@ -301,6 +316,10 @@ type epoch struct {
 	tick  int64 // LRU clock for preps
 	table bounds.GridTable
 	pool  []poolClique
+	// enums caches exact enumeration answers per cell; Apply maintains
+	// them incrementally across epochs (see enumerate.go). Values are
+	// immutable once stored.
+	enums map[enumKey]*enumSet
 }
 
 // Session is a prepared multi-query engine over one mutable graph. It
@@ -438,6 +457,9 @@ func (s *Session) Find(q Query) (*core.Result, error) {
 	if err := validate(q); err != nil {
 		return nil, err
 	}
+	if q.Kind != KindFind {
+		return nil, fmt.Errorf("session: Find answers KindFind queries; use Enumerate for Kind %d", q.Kind)
+	}
 	if pool := s.sharedPool(); pool != nil {
 		return s.find(q, 1, pool, nil, 0)
 	}
@@ -463,6 +485,9 @@ func (s *Session) FindGrid(qs []Query) ([]*core.Result, error) {
 	for _, q := range qs {
 		if err := validate(q); err != nil {
 			return nil, err
+		}
+		if q.Kind != KindFind {
+			return nil, fmt.Errorf("session: FindGrid answers KindFind queries; use Enumerate for Kind %d", q.Kind)
 		}
 	}
 	order := make([]int, len(qs))
@@ -989,6 +1014,10 @@ type ApplyStats struct {
 	// BridgeSeeds counts warm-start cliques grown around inserted edges
 	// that merged two components (see Stats.BridgeSeeds).
 	BridgeSeeds int64
+	// EnumDiffs reports, per cached enumeration cell, which cliques the
+	// delta destroyed and which it created: the epoch diff of the
+	// maintained result sets (see EnumDiff).
+	EnumDiffs []EnumDiff
 }
 
 // Apply mutates the session's graph with a batched delta and swaps in
@@ -1042,6 +1071,12 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 
 	old.mu.Lock()
 	ne.table = old.table.Relax(floor)
+	// Enumeration sets are immutable once stored: a shallow copy of the
+	// map is a consistent snapshot to maintain against.
+	oldEnums := make(map[enumKey]*enumSet, len(old.enums))
+	for k, set := range old.enums {
+		oldEnums[k] = set
+	}
 	oldPool := append([]poolClique(nil), old.pool...)
 	oldPreps := make(map[int32]*prepEntry, len(old.preps))
 	// lastUse is guarded by epoch.mu and in-flight queries on the
@@ -1104,6 +1139,14 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 		ne.preps[key] = nent
 	}
 
+	// Enumeration sets: maintain each cached cell across the delta —
+	// survivor filtering when the insertion floor proves no new optimum
+	// can appear, a fresh collect search otherwise — and report the
+	// per-cell died/born diff. Runs after the preps adoption above so a
+	// re-enumeration reuses the carried machinery.
+	var maintained, recomputed int64
+	ast.EnumDiffs, maintained, recomputed = s.maintainEnums(ne, oldEnums, floor)
+
 	// Publish. Retired epochs keep serving their in-flight queries;
 	// their reduction counters are folded into the session's base so
 	// Stats stays cumulative.
@@ -1118,6 +1161,8 @@ func (s *Session) Apply(d *graph.Delta) (ApplyStats, error) {
 	s.stats.PoolRetained += ast.PoolRetained
 	s.stats.PoolDropped += ast.PoolDropped
 	s.stats.BridgeSeeds += ast.BridgeSeeds
+	s.stats.EnumMaintained += maintained
+	s.stats.EnumRecomputed += recomputed
 	if old.reds != nil {
 		rs := old.reds.Stats()
 		s.redsBase.Builds += rs.Builds

@@ -1,0 +1,44 @@
+#!/bin/sh
+# API-compatibility gate: diff the exported surface of the public
+# fairclique package at HEAD against a base commit (APIDIFF_BASE,
+# default HEAD^) with golang.org/x/exp/cmd/apidiff. Incompatible
+# changes fail the gate unless an `api-break` file at the repo root
+# acknowledges an intentional break for this release — the follow-up
+# PR deletes the file, and the gate proves that follow-up is additive.
+#
+# Skips gracefully when apidiff is not installed (the dev container
+# has no network; CI installs it on the runner) or when the base
+# commit does not exist (the repo's first commit).
+set -eu
+
+BASE="${APIDIFF_BASE:-HEAD^}"
+PKG=fairclique
+
+if ! command -v apidiff >/dev/null 2>&1; then
+    echo "apidiff: tool not installed; skipping (CI installs golang.org/x/exp/cmd/apidiff)" >&2
+    exit 0
+fi
+if ! git rev-parse --verify --quiet "$BASE^{commit}" >/dev/null; then
+    echo "apidiff: base $BASE does not exist; skipping" >&2
+    exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
+
+git worktree add --detach "$tmp/base" "$BASE" >/dev/null
+(cd "$tmp/base" && apidiff -w "$tmp/old.export" "$PKG")
+
+report=$(apidiff -incompatible "$tmp/old.export" "$PKG")
+if [ -z "$report" ]; then
+    echo "apidiff: no incompatible changes in $PKG vs $BASE"
+    exit 0
+fi
+echo "apidiff: incompatible changes in $PKG vs $BASE:" >&2
+echo "$report" >&2
+if [ -f api-break ]; then
+    echo "apidiff: acknowledged by the api-break file; passing (delete the file in the next PR)" >&2
+    exit 0
+fi
+echo "apidiff: intentional? add an 'api-break' file at the repo root explaining the break" >&2
+exit 1
